@@ -1,0 +1,82 @@
+// Command appbench runs the self-verifying application kernels (E3) —
+// halo-exchange stencil, ring-rotation matmul, NPB-IS-style bucket sort
+// — across link configurations and platform profiles, reporting
+// end-to-end virtual completion times.
+//
+// Usage:
+//
+//	appbench [-hosts N] [-profile gen3x8] [-kernel heat1d|matmul|intsort|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/model"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 4, "ring size")
+	profile := flag.String("profile", "gen3x8", "platform profile (see model.Names)")
+	kernel := flag.String("kernel", "all", "kernel: heat1d, matmul, intsort or all")
+	cells := flag.Int("cells", 2048, "heat1d: total cells")
+	steps := flag.Int("steps", 50, "heat1d: time steps")
+	dim := flag.Int("dim", 64, "matmul: matrix dimension")
+	keys := flag.Int("keys", 40000, "intsort: keys per PE")
+	flag.Parse()
+
+	par, err := model.Profile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "appbench:", err)
+		os.Exit(1)
+	}
+	// Keep kernel parameters divisible by the host count.
+	c, d := *cells, *dim
+	for c%*hosts != 0 {
+		c++
+	}
+	for d%*hosts != 0 {
+		d++
+	}
+
+	type kern struct {
+		name string
+		run  func(cfg bench.AppConfig) float64
+	}
+	kernels := []kern{
+		{"heat1d", func(cfg bench.AppConfig) float64 {
+			return bench.AppHeat1D(par, cfg.Opts, *hosts, c, *steps)
+		}},
+		{"matmul", func(cfg bench.AppConfig) float64 {
+			return bench.AppMatmul(par, cfg.Opts, *hosts, d)
+		}},
+		{"intsort", func(cfg bench.AppConfig) float64 {
+			return bench.AppIntSort(par, cfg.Opts, *hosts, *keys)
+		}},
+	}
+
+	fmt.Printf("profile %s, %d hosts (every kernel self-verifies)\n\n", *profile, *hosts)
+	fmt.Printf("%-10s", "kernel")
+	for _, cfg := range bench.AppConfigs() {
+		fmt.Printf(" %22s", cfg.Name)
+	}
+	fmt.Println(" (virtual us)")
+	ran := 0
+	for _, k := range kernels {
+		if *kernel != "all" && *kernel != k.name {
+			continue
+		}
+		ran++
+		fmt.Printf("%-10s", k.name)
+		for _, cfg := range bench.AppConfigs() {
+			fmt.Printf(" %22.1f", k.run(cfg))
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "appbench: unknown kernel %q\n", *kernel)
+		os.Exit(1)
+	}
+}

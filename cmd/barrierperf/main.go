@@ -1,0 +1,35 @@
+// Command barrierperf reproduces Fig 10 of the paper (latency of
+// shmem_barrier_all after Puts of varying size) and, with -ablation,
+// the barrier-algorithm comparison of DESIGN.md (A1).
+//
+// Usage:
+//
+//	barrierperf [-ablation] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/model"
+)
+
+func main() {
+	ablation := flag.Bool("ablation", false, "run the barrier-algorithm ablation instead of Fig 10")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	par := model.Default()
+	var f *bench.Figure
+	if *ablation {
+		f = bench.RunAblationBarrierAlgo(par)
+	} else {
+		f = bench.RunFig10(par)
+	}
+	if *csv {
+		fmt.Print(f.CSV())
+	} else {
+		fmt.Println(f.Table())
+	}
+}

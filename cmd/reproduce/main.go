@@ -1,0 +1,99 @@
+// Command reproduce regenerates every figure of the paper's evaluation
+// plus this repository's ablation studies, in one run, in the order the
+// paper presents them. Its output is the raw material of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	reproduce [-skip-ablations] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/model"
+)
+
+func main() {
+	skipAblations := flag.Bool("skip-ablations", false, "only the paper's figures")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	outdir := flag.String("outdir", "", "also write one CSV file per figure into this directory")
+	paramsFile := flag.String("params", "", "JSON platform profile overlaying the default (see model.SaveParams)")
+	flag.Parse()
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+	}
+	par := model.Default()
+	if *paramsFile != "" {
+		var err error
+		if par, err = model.LoadParams(*paramsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+	}
+	emit := func(f *bench.Figure) {
+		if *csv {
+			fmt.Printf("# %s — %s\n", f.ID, f.Title)
+			fmt.Print(f.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(f.Table())
+		}
+		if *outdir != "" {
+			name := strings.ToLower(strings.NewReplacer(" ", "", "(", "_", ")", "").Replace(f.ID)) + ".csv"
+			path := filepath.Join(*outdir, name)
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("platform profile: PCIe Gen%d x%d, wire %.2f GB/s, DMA engine %.2f GB/s\n\n",
+		par.Gen, par.Lanes, par.EffectiveWireBW()/1e9, par.DMAEngineBW/1e9)
+
+	for _, f := range bench.RunFig8(par) {
+		emit(f)
+	}
+	fig9 := bench.RunFig9(par)
+	for _, f := range fig9 {
+		emit(f)
+	}
+	emit(bench.RunFig10(par))
+
+	if !*skipAblations {
+		emit(bench.RunAblationBarrierAlgo(par))
+		emit(bench.RunAblationGetChunk(par))
+		emit(bench.RunAblationRingSize(par))
+		emit(bench.RunAblationRouting(par))
+		emit(bench.RunAblationBroadcast(par))
+		emit(bench.RunAblationPipeline(par))
+		emit(bench.RunAblationWakeCost(par))
+		emit(bench.RunGenerationComparison())
+		emit(bench.RunTwoSidedComparison(par))
+		emit(bench.RunAppKernels(par))
+		emit(bench.RunCollectiveLatency(par))
+		fmt.Println(bench.RunBreakdown(par))
+	}
+
+	if bad := bench.CheckFig9Shapes(fig9); len(bad) != 0 {
+		fmt.Println("PAPER-SHAPE CHECKS FAILED:")
+		for _, b := range bad {
+			fmt.Println("  -", b)
+		}
+	} else {
+		fmt.Println("paper-shape checks: all passed")
+	}
+	fmt.Printf("(wall time %.1fs; all reported numbers are virtual-time measurements)\n",
+		time.Since(start).Seconds())
+}

@@ -1,0 +1,117 @@
+// Command ringviz draws the switchless ring and its traffic: topology
+// with per-link chipset rates, then a time-bucketed ASCII heat strip of
+// DMA activity per adapter while a chosen workload runs — a quick visual
+// answer to "which links did that workload light up, and when".
+//
+// Usage:
+//
+//	ringviz [-hosts N] [-workload allpairs|put|get|barrier] [-buckets N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/ntb"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 4, "ring size")
+	workload := flag.String("workload", "allpairs", "workload: allpairs, put, get or barrier")
+	buckets := flag.Int("buckets", 60, "time buckets in the heat strip")
+	flag.Parse()
+
+	par := model.Default()
+	s := sim.New()
+	c := fabric.NewRing(s, par, *hosts)
+	rec := trace.New()
+	rec.Attach(c)
+	w := core.NewWorld(c, core.Options{})
+
+	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+		sym := pe.MustMalloc(p, 256<<10)
+		buf := make([]byte, 256<<10)
+		pe.BarrierAll(p)
+		switch *workload {
+		case "put":
+			if pe.ID() == 0 {
+				pe.PutBytes(p, pe.NumPEs()-1, sym, buf)
+			}
+		case "get":
+			if pe.ID() == 0 {
+				pe.GetBytes(p, pe.NumPEs()-1, sym, buf)
+			}
+		case "barrier":
+			for i := 0; i < 3; i++ {
+				pe.BarrierAll(p)
+			}
+		default: // allpairs
+			for tgt := 0; tgt < pe.NumPEs(); tgt++ {
+				if tgt != pe.ID() {
+					pe.PutBytes(p, tgt, sym+core.SymAddr(pe.ID()*1024), buf[:64<<10])
+				}
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Topology.
+	fmt.Printf("switchless ring, %d hosts (workload %q, t=%v)\n\n", *hosts, *workload, s.Now())
+	var top, bot strings.Builder
+	for i, h := range c.Hosts {
+		top.WriteString(fmt.Sprintf("[host%d]", h.ID))
+		if i < len(c.Hosts) {
+			top.WriteString(fmt.Sprintf("--%.1fGB/s--", h.Right.EngineBW()/1e9))
+		}
+	}
+	top.WriteString("[host0]")
+	fmt.Println(" " + top.String())
+	fmt.Println(" " + bot.String())
+
+	// Heat strips: one row per right-side adapter, bucketed DMA bytes.
+	end := int64(s.Now())
+	if end == 0 {
+		log.Fatal("no virtual time elapsed")
+	}
+	width := int64(*buckets)
+	shades := []rune(" .:-=+*#%@")
+	fmt.Printf("DMA activity (%d buckets of %s each; darker = more bytes)\n\n",
+		*buckets, sim.Duration(end/width))
+	for _, h := range c.Hosts {
+		row := make([]int64, width)
+		var peak int64
+		for _, e := range rec.Events() {
+			if e.Port != h.Right.Name() || e.Cat != "dma" {
+				continue
+			}
+			b := int64(e.T) * width / (end + 1)
+			row[b] += int64(e.Bytes)
+			if row[b] > peak {
+				peak = row[b]
+			}
+		}
+		var strip strings.Builder
+		for _, v := range row {
+			idx := 0
+			if peak > 0 {
+				idx = int(v * int64(len(shades)-1) / peak)
+			}
+			strip.WriteRune(shades[idx])
+		}
+		fmt.Printf("%-10s |%s|\n", h.Right.Name(), strip.String())
+	}
+
+	fmt.Println()
+	fmt.Print(rec.Table())
+	_ = ntb.RegionData
+}

@@ -1,0 +1,193 @@
+// Command selftest fuzzes the runtime with random SPMD programs checked
+// against a sequential reference model — the differential harness from
+// the test suite, exposed for long operator-driven runs.
+//
+// Every round builds a random schedule of puts (blocking and NBI),
+// fetch-adds, gets and barriers over a random ring size and
+// configuration, executes it on the simulator, and cross-checks every
+// read against the reference. Any divergence prints the seed for
+// reproduction and exits nonzero.
+//
+// Usage:
+//
+//	selftest [-rounds N] [-seed S] [-v]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 25, "random programs to run")
+	seed := flag.Int64("seed", 1, "starting seed")
+	verbose := flag.Bool("v", false, "print each program's shape")
+	flag.Parse()
+
+	failures := 0
+	for i := 0; i < *rounds; i++ {
+		s := *seed + int64(i)
+		cfg := randomConfig(s)
+		hosts := 3 + int(s%5)
+		if err := runProgram(s, cfg, hosts, *verbose); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d hosts=%d cfg=%+v: %v\n", s, hosts, cfg, err)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "selftest: %d of %d programs failed\n", failures, *rounds)
+		os.Exit(1)
+	}
+	fmt.Printf("selftest: %d random programs verified (seeds %d..%d)\n",
+		*rounds, *seed, *seed+int64(*rounds)-1)
+}
+
+func randomConfig(seed int64) core.Options {
+	rng := rand.New(rand.NewSource(seed * 31))
+	opts := core.Options{}
+	if rng.Intn(2) == 0 {
+		opts.Mode = driver.ModeCPU
+	}
+	switch rng.Intn(3) {
+	case 1:
+		opts.Barrier = core.BarrierCentral
+	case 2:
+		opts.Barrier = core.BarrierDissemination
+	}
+	if opts.Barrier == core.BarrierRing && rng.Intn(2) == 0 {
+		opts.Routing = core.RouteShortest
+	}
+	if rng.Intn(2) == 0 {
+		opts.Pipeline = 2 << rng.Intn(3) // 2, 4 or 8
+	}
+	return opts
+}
+
+// runProgram mirrors the differential test harness: slot-per-owner
+// writes, commuting atomics, reads checked against a shadow model.
+func runProgram(seed int64, opts core.Options, hosts int, verbose bool) error {
+	const slotSize = 2500
+	const roundsPerProgram = 3
+	rng := rand.New(rand.NewSource(seed))
+	if verbose {
+		fmt.Printf("seed=%d hosts=%d mode=%v barrier=%v routing=%v pipeline=%d\n",
+			seed, hosts, opts.Mode, opts.Barrier, opts.Routing, opts.Pipeline)
+	}
+
+	// Shadow model.
+	type key struct{ target, owner int }
+	shadow := map[key]byte{}
+	counters := make([]int64, hosts)
+	type action struct {
+		putTargets []int
+		nbi        bool
+		addTarget  int
+		addDelta   int64
+	}
+	plans := make([][]action, hosts)
+	for pe := 0; pe < hosts; pe++ {
+		plans[pe] = make([]action, roundsPerProgram)
+		for r := range plans[pe] {
+			a := &plans[pe][r]
+			for t := 0; t < hosts; t++ {
+				if t != pe && rng.Intn(2) == 0 {
+					a.putTargets = append(a.putTargets, t)
+				}
+			}
+			a.nbi = rng.Intn(2) == 0
+			a.addTarget = -1
+			if rng.Intn(2) == 0 {
+				a.addTarget = rng.Intn(hosts)
+				a.addDelta = int64(rng.Intn(20) - 10)
+			}
+		}
+	}
+	tag := func(r, owner int) byte { return byte(r*37+owner*11) | 1 }
+	snaps := make([]map[key]byte, roundsPerProgram)
+	ctrSnaps := make([][]int64, roundsPerProgram)
+	for r := 0; r < roundsPerProgram; r++ {
+		for pe := 0; pe < hosts; pe++ {
+			a := plans[pe][r]
+			for _, t := range a.putTargets {
+				shadow[key{t, pe}] = tag(r, pe)
+			}
+			if a.addTarget >= 0 {
+				counters[a.addTarget] += a.addDelta
+			}
+		}
+		snap := map[key]byte{}
+		for k, v := range shadow {
+			snap[k] = v
+		}
+		snaps[r] = snap
+		ctrSnaps[r] = append([]int64(nil), counters...)
+	}
+
+	// Simulated execution.
+	s := sim.New()
+	c := fabric.NewRing(s, model.Default(), hosts)
+	w := core.NewWorld(c, opts)
+	var firstErr error
+	fail := func(format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf(format, args...)
+		}
+	}
+	w.Launch(func(p *sim.Proc, pe *core.PE) {
+		me := pe.ID()
+		slots := pe.MustMalloc(p, hosts*slotSize)
+		counter := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		for r := 0; r < roundsPerProgram; r++ {
+			a := plans[me][r]
+			block := bytes.Repeat([]byte{tag(r, me)}, slotSize)
+			for _, t := range a.putTargets {
+				if a.nbi {
+					pe.PutBytesNBI(p, t, slots+core.SymAddr(me*slotSize), block)
+				} else {
+					pe.PutBytes(p, t, slots+core.SymAddr(me*slotSize), block)
+				}
+			}
+			if a.addTarget >= 0 {
+				pe.FetchAddInt64(p, a.addTarget, counter, a.addDelta)
+			}
+			pe.BarrierAll(p)
+			// Verify local slots and a random remote counter.
+			buf := make([]byte, slotSize)
+			for owner := 0; owner < hosts; owner++ {
+				want, ok := snaps[r][key{me, owner}]
+				if !ok {
+					continue
+				}
+				pe.LocalRead(p, slots+core.SymAddr(owner*slotSize), buf)
+				for _, b := range buf {
+					if b != want {
+						fail("seed %d round %d: pe %d slot %d holds %d want %d",
+							seed, r, me, owner, b, want)
+						break
+					}
+				}
+			}
+			ctrTarget := (me + r) % hosts
+			if got := pe.FetchInt64(p, ctrTarget, counter); got != ctrSnaps[r][ctrTarget] {
+				fail("seed %d round %d: counter[%d] = %d want %d",
+					seed, r, ctrTarget, got, ctrSnaps[r][ctrTarget])
+			}
+			pe.BarrierAll(p)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return err
+	}
+	s.Shutdown()
+	return firstErr
+}

@@ -1,0 +1,93 @@
+// Command shmemtrace runs a chosen OpenSHMEM workload on the simulated
+// NTB ring with device tracing enabled, prints the per-port activity
+// summary, and can export the full timeline as Chrome trace JSON
+// (open with chrome://tracing or Perfetto).
+//
+// Usage:
+//
+//	shmemtrace [-workload put|get|barrier|mix] [-hosts N] [-size BYTES] [-out trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "mix", "workload: put, get, barrier or mix")
+	hosts := flag.Int("hosts", 3, "ring size")
+	size := flag.Int("size", 64<<10, "transfer size in bytes")
+	out := flag.String("out", "", "write Chrome trace JSON to this file")
+	flag.Parse()
+
+	s := sim.New()
+	c := fabric.NewRing(s, model.Default(), *hosts)
+	rec := trace.New()
+	rec.Attach(c)
+	ops := trace.NewOpRecorder()
+	w := core.NewWorld(c, core.Options{})
+	w.SetOpTrace(ops.OpHook())
+
+	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+		sym := pe.MustMalloc(p, *size)
+		buf := make([]byte, *size)
+		pe.BarrierAll(p)
+		switch *workload {
+		case "put":
+			if pe.ID() == 0 {
+				pe.PutBytes(p, pe.NumPEs()-1, sym, buf)
+			}
+		case "get":
+			if pe.ID() == 0 {
+				pe.GetBytes(p, pe.NumPEs()-1, sym, buf)
+			}
+		case "barrier":
+			for i := 0; i < 3; i++ {
+				pe.BarrierAll(p)
+			}
+		default: // mix: all-pairs puts, one get, a barrier
+			target := (pe.ID() + 1) % pe.NumPEs()
+			pe.PutBytes(p, target, sym, buf)
+			pe.BarrierAll(p)
+			if pe.ID() == 0 {
+				pe.GetBytes(p, pe.NumPEs()-1, sym, buf)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %q on %d hosts finished at t=%v; %d device events, %d operations\n\n",
+		*workload, *hosts, s.Now(), rec.Len(), ops.Len())
+	fmt.Println("application operations:")
+	fmt.Print(ops.Table())
+	fmt.Println("\ndevice activity:")
+	fmt.Print(rec.Table())
+	fmt.Println()
+	for _, h := range c.Hosts {
+		u := rec.Utilization(h.Right.Name(), s.Now())
+		fmt.Printf("%-10s dma engine utilization %5.1f%%\n", h.Right.Name(), 100*u)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteChromeJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nChrome trace written to %s\n", *out)
+	}
+}

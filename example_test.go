@@ -1,0 +1,117 @@
+package ntbshmem_test
+
+// Runnable documentation examples (go doc / godoc render these; `go test`
+// verifies their output). Being on a deterministic virtual clock, even
+// the timed behaviours are stable enough to assert.
+
+import (
+	"fmt"
+
+	ntbshmem "repro"
+)
+
+// The smallest complete program: a put, a barrier, a read-back.
+func Example() {
+	cfg := ntbshmem.Config{Hosts: 3}
+	err := ntbshmem.Run(cfg, func(p *ntbshmem.Proc, pe *ntbshmem.PE) {
+		x := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			ntbshmem.PutScalar[int64](p, pe, 2, x, 42)
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 2 {
+			fmt.Println("PE 2 sees", ntbshmem.GetScalar[int64](p, pe, 2, x))
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: PE 2 sees 42
+}
+
+// Reductions combine every PE's contribution on every PE.
+func ExampleReduce() {
+	err := ntbshmem.Run(ntbshmem.Config{Hosts: 4}, func(p *ntbshmem.Proc, pe *ntbshmem.PE) {
+		src := pe.MustMalloc(p, 8)
+		dst := pe.MustMalloc(p, 8)
+		ntbshmem.LocalPut(p, pe, src, []int64{int64(pe.ID() + 1)})
+		pe.BarrierAll(p)
+		ntbshmem.Reduce[int64](p, pe, ntbshmem.OpSum, dst, src, 1)
+		if pe.ID() == 0 {
+			var out [1]int64
+			ntbshmem.LocalGet(p, pe, dst, out[:])
+			fmt.Println("sum over 4 PEs:", out[0])
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: sum over 4 PEs: 10
+}
+
+// Put-with-signal replaces the put+fence+flag idiom: the consumer waits
+// on the signal word and is guaranteed to observe the data.
+func ExamplePE_PutSignal() {
+	err := ntbshmem.Run(ntbshmem.Config{Hosts: 2}, func(p *ntbshmem.Proc, pe *ntbshmem.PE) {
+		data := pe.MustMalloc(p, 16)
+		sig := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.PutSignal(p, 1, data, []byte("one-sided hello!"), sig, ntbshmem.SignalSet, 1)
+		} else {
+			pe.WaitUntilInt64(p, sig, ntbshmem.CmpEQ, 1)
+			buf := make([]byte, 16)
+			pe.LocalRead(p, data, buf)
+			fmt.Printf("%s\n", buf)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: one-sided hello!
+}
+
+// Remote atomics give every PE a consistent shared counter.
+func ExamplePE_FetchAddInt64() {
+	err := ntbshmem.Run(ntbshmem.Config{Hosts: 4}, func(p *ntbshmem.Proc, pe *ntbshmem.PE) {
+		ctr := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		pe.FetchAddInt64(p, 0, ctr, int64(pe.ID()+1))
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			fmt.Println("counter:", ntbshmem.GetScalar[int64](p, pe, 0, ctr))
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: counter: 10
+}
+
+// Teams scope collectives to PE subsets.
+func ExamplePE_TeamSplitStrided() {
+	err := ntbshmem.Run(ntbshmem.Config{Hosts: 4}, func(p *ntbshmem.Proc, pe *ntbshmem.PE) {
+		val := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		team := pe.TeamSplitStrided(p, 0, 2, 2) // PEs 0 and 2
+		if team == nil {
+			pe.BarrierAll(p)
+			return
+		}
+		ntbshmem.LocalPut(p, pe, val, []int64{100 + int64(pe.ID())})
+		ntbshmem.TeamReduce[int64](p, team, ntbshmem.OpMax, val, val, 1)
+		if team.MyPE() == 0 {
+			var out [1]int64
+			ntbshmem.LocalGet(p, pe, val, out[:])
+			fmt.Println("team max:", out[0])
+		}
+		team.Destroy(p)
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: team max: 102
+}

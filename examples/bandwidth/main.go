@@ -1,0 +1,87 @@
+// bandwidth: an OSU-microbenchmark-style sweep over the public API —
+// put and get latency/bandwidth between PE 0 and a chosen target, for
+// message sizes 1KB-512KB, in DMA or memcpy mode.
+//
+// This is the same measurement the Fig 9 harness performs, expressed as
+// a user program against the public API rather than the internal bench
+// package.
+//
+// Run with: go run ./examples/bandwidth [-hosts N] [-target T] [-mode dma|memcpy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	ntbshmem "repro"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 3, "number of hosts/PEs")
+	target := flag.Int("target", 1, "PE that PE 0 talks to")
+	mode := flag.String("mode", "dma", "transfer mode: dma or memcpy")
+	pipeline := flag.Int("pipeline", 0, "link pipeline depth (0 = paper's stop-and-wait)")
+	reps := flag.Int("reps", 10, "repetitions per size")
+	flag.Parse()
+	if *target <= 0 || *target >= *hosts {
+		log.Fatalf("target must be in [1, %d)", *hosts)
+	}
+	m := ntbshmem.ModeDMA
+	if *mode == "memcpy" {
+		m = ntbshmem.ModeCPU
+	}
+
+	type row struct {
+		size           int
+		putUS, getUS   float64
+		putMBs, getMBs float64
+	}
+	var rows []row
+	err := ntbshmem.Run(ntbshmem.Config{Hosts: *hosts, Mode: m, Pipeline: *pipeline}, func(p *ntbshmem.Proc, pe *ntbshmem.PE) {
+		sym := pe.MustMalloc(p, 512<<10)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			for size := 1 << 10; size <= 512<<10; size <<= 1 {
+				buf := make([]byte, size)
+				start := p.Now()
+				for r := 0; r < *reps; r++ {
+					pe.PutBytes(p, *target, sym, buf)
+				}
+				putUS := float64(p.Now()-start) / 1e3 / float64(*reps)
+				start = p.Now()
+				for r := 0; r < *reps; r++ {
+					pe.GetBytes(p, *target, sym, buf)
+				}
+				getUS := float64(p.Now()-start) / 1e3 / float64(*reps)
+				rows = append(rows, row{
+					size:   size,
+					putUS:  putUS,
+					getUS:  getUS,
+					putMBs: float64(size) / putUS,
+					getMBs: float64(size) / getUS,
+				})
+			}
+		}
+		pe.BarrierAll(p)
+		pe.Finalize(p)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# PE0 -> PE%d (%d hops rightward), mode %s, pipeline %d\n",
+		*target, *target, *mode, *pipeline)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "size", "put-lat(us)", "get-lat(us)", "put(MB/s)", "get(MB/s)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %12.2f %12.2f %12.2f %12.2f\n",
+			label(r.size), r.putUS, r.getUS, r.putMBs, r.getMBs)
+	}
+}
+
+func label(n int) string {
+	if n >= 1<<10 {
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

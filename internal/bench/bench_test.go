@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/model"
+)
+
+func TestSizesSweep(t *testing.T) {
+	s := Sizes()
+	if s[0] != 1<<10 || s[len(s)-1] != 512<<10 {
+		t.Fatalf("sweep endpoints: %v", s)
+	}
+	if len(s) != 10 {
+		t.Fatalf("sweep length = %d, want 10", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] != 2*s[i-1] {
+			t.Fatalf("sweep not powers of two: %v", s)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		512:       "512B",
+		1 << 10:   "1KB",
+		512 << 10: "512KB",
+		1 << 20:   "1MB",
+		1500:      "1500B",
+	}
+	for n, want := range cases {
+		if got := SizeLabel(n); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(1e6, 1e9); got != 1 {
+		t.Errorf("1MB in 1s = %g MB/s", got)
+	}
+	if got := MBps(1e6, 0); got != 0 {
+		t.Errorf("zero time should yield 0, got %g", got)
+	}
+}
+
+func TestFigureTableAndCSV(t *testing.T) {
+	f := &Figure{
+		ID: "T", Title: "test", XLabel: "Request Size", Unit: "MB/s",
+		Series: []Series{
+			{Label: "a", Points: []Point{{1 << 10, 1.5}, {2 << 10, 2.5}}},
+			{Label: "b", Points: []Point{{1 << 10, 3}, {2 << 10, 4}}},
+		},
+	}
+	tbl := f.Table()
+	for _, want := range []string{"1KB", "2KB", "1.50", "4.00", "MB/s"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "Request Size,a,b\n1024,1.5,3\n") {
+		t.Errorf("csv format:\n%s", csv)
+	}
+	if f.SeriesByLabel("b") == nil || f.SeriesByLabel("zzz") != nil {
+		t.Error("SeriesByLabel broken")
+	}
+	if v, err := f.Series[0].At(2 << 10); err != nil || v != 2.5 {
+		t.Errorf("At = %v, %v", v, err)
+	}
+	if _, err := f.Series[0].At(77); err == nil {
+		t.Error("At missing point should error")
+	}
+}
+
+func TestFig8IndependentBeatsRing(t *testing.T) {
+	par := model.Default()
+	const size = 256 << 10
+	ring := Fig8Ring(par, 3, size)
+	anyDiminished := false
+	for i, r := range ring {
+		indep := Fig8Independent(par, i, size)
+		if indep < 2000 || indep > 3400 {
+			t.Fatalf("independent link %d 256KB throughput %f MB/s outside the paper's 20-30Gb/s band", i, indep)
+		}
+		// Simultaneous ring traffic never beats the isolated link and
+		// drops at most "slightly" (the paper's observation); links whose
+		// chipset engine is the bottleneck may match it exactly.
+		if r > indep+1 {
+			t.Fatalf("ring link %d (%f) should not exceed independent (%f)", i, r, indep)
+		}
+		if r < 0.80*indep {
+			t.Fatalf("ring link %d (%f) dropped more than the paper's 'slight' diminution vs %f", i, r, indep)
+		}
+		if r < 0.99*indep {
+			anyDiminished = true
+		}
+	}
+	if !anyDiminished {
+		t.Fatal("no link showed the ring-contention diminution at all")
+	}
+}
+
+func TestFig8SmallTransfersSlower(t *testing.T) {
+	par := model.Default()
+	small := Fig8Independent(par, 0, 1<<10)
+	big := Fig8Independent(par, 0, 512<<10)
+	if small >= big/3 {
+		t.Fatalf("1KB rate (%f) should sit far below 512KB rate (%f)", small, big)
+	}
+}
+
+func TestFig8TotalGrowsWithHosts(t *testing.T) {
+	// The paper: overall network throughput increases with ring size.
+	par := model.Default()
+	sum := func(n int) float64 {
+		var s float64
+		for _, v := range Fig8Ring(par, n, 128<<10) {
+			s += v
+		}
+		return s
+	}
+	if s3, s4 := sum(3), sum(4); s4 <= s3 {
+		t.Fatalf("total throughput should grow with hosts: n=3 %f, n=4 %f", s3, s4)
+	}
+}
+
+func TestMeasureShmemOpBasics(t *testing.T) {
+	par := model.Default()
+	put := MeasureShmemOp(par, OpPut, driver.ModeDMA, 1, 64<<10, 3)
+	get := MeasureShmemOp(par, OpGet, driver.ModeDMA, 1, 64<<10, 3)
+	if put <= 0 || get <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	if get < 2*put {
+		t.Fatalf("get (%f us) should be well above put (%f us)", get, put)
+	}
+}
+
+func TestCheckFig9ShapesOnRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 9 grid in -short mode")
+	}
+	figs := RunFig9(model.Default())
+	if len(figs) != 4 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	if bad := CheckFig9Shapes(figs); len(bad) != 0 {
+		t.Fatalf("shape violations: %v", bad)
+	}
+	// Every series covers the full sweep.
+	for _, f := range figs {
+		for _, s := range f.Series {
+			if len(s.Points) != len(Sizes()) {
+				t.Fatalf("%s series %q has %d points", f.ID, s.Label, len(s.Points))
+			}
+		}
+	}
+}
+
+func TestBarrierAfterPutFlat(t *testing.T) {
+	par := model.Default()
+	small := MeasureBarrierAfterPut(par, driver.ModeDMA, 1, 1<<10, 4)
+	big := MeasureBarrierAfterPut(par, driver.ModeDMA, 1, 512<<10, 4)
+	if small < 400 || small > 4000 {
+		t.Fatalf("barrier latency %f us outside the paper's band", small)
+	}
+	ratio := big / small
+	if ratio > 1.5 {
+		t.Fatalf("barrier latency should be sustained across sizes: 1KB %f, 512KB %f", small, big)
+	}
+}
+
+func TestAblationBarrierAlgoScaling(t *testing.T) {
+	// The paper's ring start/end protocol costs 2N sequential
+	// application wake-ups, so it scales linearly; dissemination runs
+	// ceil(log2 N) rounds and must win decisively at larger rings.
+	par := model.Default()
+	ring3 := MeasureBarrierLatency(par, core.BarrierRing, 3, 5)
+	ring6 := MeasureBarrierLatency(par, core.BarrierRing, 6, 5)
+	if r := ring6 / ring3; r < 1.6 || r > 2.4 {
+		t.Fatalf("ring barrier should scale ~linearly: n=3 %f, n=6 %f", ring3, ring6)
+	}
+	diss8 := MeasureBarrierLatency(par, core.BarrierDissemination, 8, 5)
+	ring8 := MeasureBarrierLatency(par, core.BarrierRing, 8, 5)
+	if diss8 >= ring8 {
+		t.Fatalf("dissemination (%f) should beat the ring protocol (%f) at n=8", diss8, ring8)
+	}
+	central8 := MeasureBarrierLatency(par, core.BarrierCentral, 8, 5)
+	if central8 <= 0 || central8 <= diss8 {
+		t.Fatalf("central (%f) should cost more than dissemination (%f) at n=8", central8, diss8)
+	}
+}
+
+func TestAblationGetChunkMonotoneRegion(t *testing.T) {
+	// Bigger stop-and-wait chunks amortise the round trip: throughput at
+	// 64KB chunks must beat 4KB chunks.
+	par := model.Default()
+	small := par.Clone()
+	small.GetChunk = 4 << 10
+	big := par.Clone()
+	big.GetChunk = 64 << 10
+	latSmall := MeasureShmemOp(small, OpGet, driver.ModeDMA, 1, 256<<10, 3)
+	latBig := MeasureShmemOp(big, OpGet, driver.ModeDMA, 1, 256<<10, 3)
+	if latBig >= latSmall {
+		t.Fatalf("64KB-chunk get (%f us) should beat 4KB-chunk get (%f us)", latBig, latSmall)
+	}
+}
+
+func TestAblationBroadcastCrossover(t *testing.T) {
+	// Small payloads favour the native store-and-forward fanout; large
+	// ones the ring pipeline (payload crosses the root's link once).
+	par := model.Default()
+	linSmall, pipeSmall := MeasureBroadcast(par, 6, 32<<10)
+	if linSmall >= pipeSmall {
+		t.Fatalf("at 32KB linear (%f) should beat pipeline (%f)", linSmall, pipeSmall)
+	}
+	linBig, pipeBig := MeasureBroadcast(par, 6, 4<<20)
+	if pipeBig >= linBig {
+		t.Fatalf("at 4MB pipeline (%f) should beat linear (%f)", pipeBig, linBig)
+	}
+}
+
+func TestAblationPipelineImproves(t *testing.T) {
+	// The future-work protocol must deliver: deeper pipelines raise put
+	// throughput well above the paper's stop-and-wait, and get stays
+	// round-trip bound.
+	par := model.Default()
+	put1, get1 := MeasurePipelined(par, 1, 512<<10, 3)
+	put8, get8 := MeasurePipelined(par, 8, 512<<10, 3)
+	if put8 >= put1/2 {
+		t.Fatalf("depth-8 put latency (%f us) should be far below stop-and-wait (%f us)", put8, put1)
+	}
+	if ratio := get8 / get1; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("get latency should be pipeline-insensitive: depth1 %f, depth8 %f", get1, get8)
+	}
+}
+
+func TestAppKernelsVerifyAndComplete(t *testing.T) {
+	// The kernels self-verify (they panic into the sim on wrong
+	// answers), so completion with plausible times is the assertion.
+	par := model.Default()
+	heat := AppHeat1D(par, core.Options{}, 3, 300, 10)
+	mm := AppMatmul(par, core.Options{}, 3, 48)
+	is := AppIntSort(par, core.Options{}, 3, 5000)
+	for name, v := range map[string]float64{"heat1d": heat, "matmul": mm, "intsort": is} {
+		if v <= 0 || v > 1e9 {
+			t.Errorf("%s kernel time %f us implausible", name, v)
+		}
+	}
+	// The pipelined protocol must not slow any kernel down materially.
+	heatP := AppHeat1D(par, core.Options{Pipeline: 8}, 3, 300, 10)
+	if heatP > 1.05*heat {
+		t.Errorf("pipelined heat1d (%f) slower than stop-and-wait (%f)", heatP, heat)
+	}
+}
+
+func TestAblationWakeCostLinearForDataOps(t *testing.T) {
+	// Put and get scale linearly with the service-thread wake cost
+	// (E4's dominant component); the ring barrier does not use the
+	// service thread on its hot path and must stay flat.
+	par := model.Default()
+	fast := par.Clone()
+	fast.ServiceWake = par.ServiceWake / 7
+	putSlow := MeasureShmemOp(par, OpPut, driver.ModeDMA, 1, 512<<10, 3)
+	putFast := MeasureShmemOp(fast, OpPut, driver.ModeDMA, 1, 512<<10, 3)
+	if putFast >= 0.6*putSlow {
+		t.Fatalf("put should track the wake cost: %.1f -> %.1f us", putSlow, putFast)
+	}
+	barSlow := MeasureBarrierLatency(par, core.BarrierRing, 3, 3)
+	barFast := MeasureBarrierLatency(fast, core.BarrierRing, 3, 3)
+	if rel := barFast / barSlow; rel < 0.95 || rel > 1.05 {
+		t.Fatalf("ring barrier should be wake-insensitive: %.1f vs %.1f us", barSlow, barFast)
+	}
+}
+
+func TestCollectiveLatencyScales(t *testing.T) {
+	par := model.Default()
+	l3 := MeasureCollectives(par, 3, 8<<10)
+	l6 := MeasureCollectives(par, 6, 8<<10)
+	for _, k := range []string{"reduce", "fcollect", "alltoall", "broadcast"} {
+		if l3[k] <= 0 || l6[k] <= 0 {
+			t.Fatalf("%s latency missing: n3=%f n6=%f", k, l3[k], l6[k])
+		}
+		if l6[k] <= l3[k] {
+			t.Errorf("%s should cost more on a larger ring: n3=%f n6=%f", k, l3[k], l6[k])
+		}
+	}
+}

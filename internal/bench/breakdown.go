@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Latency breakdowns (extension E4): an analytical decomposition of one
+// put chunk cycle and one get chunk cycle into the platform model's cost
+// components — the "where does the time go" analysis the paper's
+// discussion gestures at. The decomposition is validated against the
+// simulator: TestBreakdownMatchesSimulation asserts that the component
+// sum reproduces the measured per-chunk latency, so the table is not a
+// separate model that can drift.
+
+// Component is one step of a protocol cycle and its cost.
+type Component struct {
+	Name string
+	US   float64
+}
+
+// Total sums a component list in microseconds.
+func Total(cs []Component) float64 {
+	var t float64
+	for _, c := range cs {
+		t += c.US
+	}
+	return t
+}
+
+// FormatComponents renders a breakdown as an aligned table with a
+// percentage column.
+func FormatComponents(title string, cs []Component) string {
+	var b strings.Builder
+	total := Total(cs)
+	fmt.Fprintf(&b, "%s (total %.2f us)\n", title, total)
+	for _, c := range cs {
+		fmt.Fprintf(&b, "  %-28s %9.2f us  %5.1f%%\n", c.Name, c.US, 100*c.US/total)
+	}
+	return b.String()
+}
+
+func us(d interface{ Microseconds() float64 }) float64 { return d.Microseconds() }
+
+// PutChunkBreakdown decomposes one stop-and-wait put chunk cycle (DMA
+// mode, one hop): the sender's critical path from issuing the chunk to
+// receiving the ACK that frees the window for the next chunk.
+func PutChunkBreakdown(par *model.Params) []Component {
+	chunk := float64(par.PutChunk)
+	return []Component{
+		{"DMA descriptor ring (MMIO)", us(par.LocalMMIO)},
+		{"DMA engine setup", us(par.DMASetup)},
+		{"DMA transfer (PutChunk)", chunk / par.DMAEngineBW * 1e6},
+		{"info record (7 spad writes)", 7 * us(par.MMIOWrite)},
+		{"doorbell ring (MMIO)", us(par.MMIOWrite)},
+		{"interrupt delivery", us(par.InterruptLatency)},
+		{"service thread wake", us(par.ServiceWake)},
+		{"interrupt service routine", us(par.ISRCost)},
+		{"info read (7 spad reads)", 7 * us(par.LocalMMIO)},
+		{"window->heap copy", chunk / par.MemcpyBW * 1e6},
+		{"ACK doorbell + delivery", us(par.MMIOWrite) + us(par.InterruptLatency)},
+	}
+}
+
+// GetChunkBreakdown decomposes one get chunk cycle (DMA mode, one hop):
+// request to the owner, staging, reply, delivery, and the application
+// wake-up — the round trip that bounds Fig 9's Get curves.
+func GetChunkBreakdown(par *model.Params) []Component {
+	chunk := float64(par.GetChunk)
+	reqAndAck := func(stage string) []Component {
+		return []Component{
+			{stage + ": info record (7 spad writes)", 7 * us(par.MMIOWrite)},
+			{stage + ": doorbell + delivery", us(par.MMIOWrite) + us(par.InterruptLatency)},
+			{stage + ": service thread wake", us(par.ServiceWake)},
+			{stage + ": interrupt service routine", us(par.ISRCost)},
+			{stage + ": info read (7 spad reads)", 7 * us(par.LocalMMIO)},
+			{stage + ": ACK doorbell + delivery", us(par.MMIOWrite) + us(par.InterruptLatency)},
+		}
+	}
+	out := reqAndAck("request")
+	out = append(out,
+		Component{"owner: heap->staging copy", chunk / par.MemcpyBW * 1e6},
+		Component{"owner: forwarder wake", us(par.ServiceWake)},
+		Component{"reply: DMA ring + setup", us(par.LocalMMIO) + us(par.DMASetup)},
+		Component{"reply: DMA transfer (GetChunk)", chunk / par.DMAEngineBW * 1e6},
+	)
+	out = append(out, reqAndAck("reply")...)
+	out = append(out,
+		Component{"requester: window->buffer copy", chunk / par.MemcpyBW * 1e6},
+		Component{"requester: application wake", us(par.AppWake)},
+	)
+	return out
+}
+
+// RunBreakdown renders both decompositions (the E4 text artefact).
+func RunBreakdown(par *model.Params) string {
+	var b strings.Builder
+	b.WriteString("E4 — Per-chunk latency decomposition (DMA, 1 hop)\n\n")
+	b.WriteString(FormatComponents(
+		fmt.Sprintf("Put cycle, %s chunk", SizeLabel(par.PutChunk)), PutChunkBreakdown(par)))
+	b.WriteString("\n")
+	b.WriteString(FormatComponents(
+		fmt.Sprintf("Get cycle, %s chunk", SizeLabel(par.GetChunk)), GetChunkBreakdown(par)))
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/model"
+)
+
+func TestBreakdownMatchesSimulation(t *testing.T) {
+	// The analytical decomposition must reproduce the simulator's
+	// measured per-chunk cycle, or the E4 table is fiction.
+	par := model.Default()
+
+	// Put: one PutChunk-sized put is exactly one cycle plus the per-call
+	// software cost.
+	putMeasured := MeasureShmemOp(par, OpPut, driver.ModeDMA, 1, par.PutChunk, 4)
+	putAnalytic := Total(PutChunkBreakdown(par)) + par.PutSoftware.Microseconds()
+	if rel := math.Abs(putMeasured-putAnalytic) / putMeasured; rel > 0.02 {
+		t.Fatalf("put breakdown drifted: measured %.2f us, analytic %.2f us (%.1f%%)",
+			putMeasured, putAnalytic, 100*rel)
+	}
+
+	// Get: one GetChunk-sized get is one round-trip cycle plus software.
+	getMeasured := MeasureShmemOp(par, OpGet, driver.ModeDMA, 1, par.GetChunk, 4)
+	getAnalytic := Total(GetChunkBreakdown(par)) + par.GetSoftware.Microseconds()
+	if rel := math.Abs(getMeasured-getAnalytic) / getMeasured; rel > 0.02 {
+		t.Fatalf("get breakdown drifted: measured %.2f us, analytic %.2f us (%.1f%%)",
+			getMeasured, getAnalytic, 100*rel)
+	}
+}
+
+func TestBreakdownDominantComponents(t *testing.T) {
+	// The calibrated profile's story: the service-thread wake dominates
+	// the put cycle's overhead, and the wake/round-trip machinery — not
+	// the wire — dominates the get cycle.
+	par := model.Default()
+	put := PutChunkBreakdown(par)
+	var wake, transfer float64
+	for _, c := range put {
+		switch {
+		case strings.Contains(c.Name, "service thread wake"):
+			wake = c.US
+		case strings.Contains(c.Name, "DMA transfer"):
+			transfer = c.US
+		}
+	}
+	if wake <= transfer {
+		t.Fatalf("put overhead should be wake-dominated: wake %.2f vs transfer %.2f", wake, transfer)
+	}
+	get := GetChunkBreakdown(par)
+	var wire, overhead float64
+	for _, c := range get {
+		if strings.Contains(c.Name, "DMA transfer") {
+			wire += c.US
+		} else {
+			overhead += c.US
+		}
+	}
+	if overhead < 5*wire {
+		t.Fatalf("get should be overhead-bound: overhead %.2f vs wire %.2f", overhead, wire)
+	}
+}
+
+func TestBreakdownRendering(t *testing.T) {
+	out := RunBreakdown(model.Default())
+	for _, want := range []string{"Put cycle", "Get cycle", "service thread wake", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown output missing %q:\n%s", want, out)
+		}
+	}
+	if Total(nil) != 0 {
+		t.Fatal("empty total")
+	}
+}

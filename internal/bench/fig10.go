@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Fig 10: latency of shmem_barrier_all when each barrier follows Put
+// operations of varying size, for the same four {DMA, memcpy} x {1, 2
+// hops} configurations as Fig 9. The paper's observation: barrier cost
+// is substantial relative to small transfers but sustained (flat) as the
+// put size grows.
+
+const fig10Reps = 10
+
+// MeasureBarrierAfterPut returns the mean latency in microseconds of a
+// BarrierAll issued immediately after a put of the given size.
+func MeasureBarrierAfterPut(par *model.Params, mode driver.Mode, hops, size, reps int) float64 {
+	s := sim.New()
+	c := fabric.NewRing(s, par, 3)
+	w := core.NewWorld(c, core.Options{Mode: mode})
+	var total sim.Duration
+	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+		sym := pe.MustMalloc(p, size)
+		buf := make([]byte, size)
+		pe.BarrierAll(p)
+		for r := 0; r < reps; r++ {
+			if pe.ID() == 0 {
+				pe.PutBytes(p, hops, sym, buf)
+			}
+			start := p.Now()
+			pe.BarrierAll(p)
+			if pe.ID() == 0 {
+				total += p.Now().Sub(start)
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return total.Microseconds() / float64(reps)
+}
+
+// RunFig10 reproduces Fig 10.
+func RunFig10(par *model.Params) *Figure {
+	f := &Figure{
+		ID:     "Fig 10",
+		Title:  "Latency of OpenSHMEM Barrier Library",
+		XLabel: "Request Size",
+		Unit:   "us",
+	}
+	for _, cfg := range fig9Grid() {
+		series := Series{Label: cfg.label}
+		for _, size := range Sizes() {
+			v := MeasureBarrierAfterPut(par, cfg.mode, cfg.hops, size, fig10Reps)
+			series.Points = append(series.Points, Point{size, v})
+		}
+		f.Series = append(f.Series, series)
+	}
+	return f
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Active sets: classic SHMEM collectives operate over the strided PE
+// subset (PE_start, logPE_stride, PE_size), with caller-provided
+// symmetric work areas (pSync, pWrk). This file implements that
+// interface generation, which the OpenSHMEM 1.x standard the paper
+// targets carries throughout its collectives chapter.
+//
+// Unlike the whole-job BarrierAll, a set barrier cannot ride the ring
+// doorbell protocol (non-members never touch their doorbells), so it is
+// built from puts and wait-untils over pSync — exactly how pSync-based
+// implementations work on real hardware. Consequently BarrierSet
+// synchronises its members and orders same-path traffic between them,
+// but only BarrierAll guarantees that arbitrary multi-hop puts are fully
+// delivered; the doc comments state this.
+
+// ActiveSet is the classic SHMEM (PE_start, logPE_stride, PE_size)
+// triple.
+type ActiveSet struct {
+	Start     int // first member PE
+	LogStride int // log2 of the stride between members
+	Size      int // number of members
+}
+
+// BarrierSyncWords is the pSync size (in 8-byte words) BarrierSet
+// requires: enough for the dissemination rounds of any job this library
+// can host (2^16 PEs).
+const BarrierSyncWords = 16
+
+// validate panics when the set does not fit the world.
+func (as ActiveSet) validate(n int) {
+	if as.Size <= 0 || as.LogStride < 0 || as.Start < 0 {
+		panic(fmt.Sprintf("core: malformed active set %+v", as))
+	}
+	last := as.Start + (as.Size-1)<<as.LogStride
+	if last >= n {
+		panic(fmt.Sprintf("core: active set %+v exceeds %d PEs", as, n))
+	}
+}
+
+// Member returns the PE Id of rank i within the set.
+func (as ActiveSet) Member(i int) int {
+	return as.Start + i<<as.LogStride
+}
+
+// Rank returns this PE's rank within the set, or -1 if not a member.
+func (as ActiveSet) Rank(pe int) int {
+	d := pe - as.Start
+	stride := 1 << as.LogStride
+	if d < 0 || d%stride != 0 || d/stride >= as.Size {
+		return -1
+	}
+	return d / stride
+}
+
+// Members returns the set's PE Ids in rank order.
+func (as ActiveSet) Members() []int {
+	out := make([]int, as.Size)
+	for i := range out {
+		out[i] = as.Member(i)
+	}
+	return out
+}
+
+// mustRank returns the calling PE's rank, panicking for non-members
+// (calling a collective one does not belong to is a usage error).
+func (pe *PE) mustRank(as ActiveSet) int {
+	as.validate(pe.NumPEs())
+	r := as.Rank(pe.id)
+	if r < 0 {
+		panic(fmt.Sprintf("core: pe %d is not in active set %+v", pe.id, as))
+	}
+	return r
+}
+
+// pSyncSeq returns the strictly increasing sequence number for this
+// call site's pSync area, so the area never needs re-initialisation
+// between uses (values only grow, and waits use CmpGE).
+func (pe *PE) pSyncSeq(pSync SymAddr) int64 {
+	if pe.pSyncCounts == nil {
+		pe.pSyncCounts = make(map[SymAddr]int64)
+	}
+	pe.pSyncCounts[pSync]++
+	return pe.pSyncCounts[pSync]
+}
+
+// BarrierSet is shmem_barrier(PE_start, logPE_stride, PE_size, pSync):
+// a dissemination barrier over the set's members. pSync must be a
+// symmetric allocation of at least BarrierSyncWords*8 bytes, allocated
+// by every PE (symmetry requirement), and may be reused freely.
+//
+// On return, every member has entered the barrier, and any prior
+// same-direction traffic between members on the paths the tokens took is
+// delivered. For a guarantee covering arbitrary multi-hop puts, use
+// BarrierAll.
+func (pe *PE) BarrierSet(p *sim.Proc, as ActiveSet, pSync SymAddr) {
+	rank := pe.mustRank(as)
+	pe.checkHeapRange(pSync, BarrierSyncWords*8)
+	if as.Size == 1 {
+		return
+	}
+	pe.Quiet(p)
+	seq := pe.pSyncSeq(pSync)
+	for r, dist := 0, 1; dist < as.Size; r, dist = r+1, dist*2 {
+		if r >= BarrierSyncWords {
+			panic("core: active set too large for pSync")
+		}
+		peer := as.Member((rank + dist) % as.Size)
+		slot := pSync + SymAddr(r*8)
+		PutScalar[int64](p, pe, peer, slot, seq)
+		pe.WaitUntilInt64(p, slot, CmpGE, seq)
+	}
+}
+
+// pSync word layout: the dissemination rounds of BarrierSet use words
+// 0..11; the data collectives use dedicated counter words above them so
+// one pSync area serves every call site.
+const (
+	pSyncReduceArrive  = 12
+	pSyncReduceRelease = 13
+	pSyncBcastFlag     = 14
+)
+
+// BroadcastSet is shmem_broadcast over an active set: root (an absolute
+// PE Id that must be a member) sends nelems elements at src to every
+// other member's dst. All members must call with identical arguments.
+//
+// Delivery is guaranteed on return: the root's per-member ready flag
+// rides the same FIFO ring path as that member's data, so a member that
+// observes the flag holds the data.
+func BroadcastSet[T Scalar](p *sim.Proc, pe *PE, as ActiveSet, root int, dst, src SymAddr, nelems int, pSync SymAddr) {
+	pe.mustRank(as)
+	if as.Rank(root) < 0 {
+		panic(fmt.Sprintf("core: broadcast root %d outside active set %+v", root, as))
+	}
+	pe.checkHeapRange(pSync, BarrierSyncWords*8)
+	flag := pSync + SymAddr(pSyncBcastFlag*8)
+	seq := pe.pSyncSeq(flag)
+	if pe.id == root {
+		buf := make([]T, nelems)
+		LocalGet(p, pe, src, buf)
+		for _, m := range as.Members() {
+			if m == root {
+				if dst != src {
+					LocalPut(p, pe, dst, buf)
+				}
+				continue
+			}
+			Put(p, pe, m, dst, buf)
+			pe.AddInt64(p, m, flag, 1) // ordered behind the data
+		}
+		return
+	}
+	pe.WaitUntilInt64(p, flag, CmpGE, seq)
+}
+
+// ReduceSet is shmem_TYPE_OP_to_all over an active set. pWrk must be a
+// symmetric area of at least Size*nelems elements, allocated by every
+// PE; dst and src may alias. All members call with identical arguments.
+//
+// The protocol is gather-to-head / reduce / fan-out, with ordered
+// arrival and release counters instead of barriers: every counter update
+// follows its data on the same FIFO path, so observation implies
+// delivery.
+func ReduceSet[T Scalar](p *sim.Proc, pe *PE, as ActiveSet, op ReduceOp, dst, src SymAddr, nelems int, pWrk, pSync SymAddr) {
+	rank := pe.mustRank(as)
+	es := sizeOf[T]()
+	pe.checkHeapRange(pWrk, as.Size*nelems*es)
+	pe.checkHeapRange(pSync, BarrierSyncWords*8)
+	head := as.Member(0)
+	arrive := pSync + SymAddr(pSyncReduceArrive*8)
+	release := pSync + SymAddr(pSyncReduceRelease*8)
+	seq := pe.pSyncSeq(release)
+
+	contrib := make([]T, nelems)
+	LocalGet(p, pe, src, contrib)
+	slot := pWrk + SymAddr(rank*nelems*es)
+	if pe.id != head {
+		Put(p, pe, head, slot, contrib)
+		pe.AddInt64(p, head, arrive, 1) // ordered behind the contribution
+		pe.WaitUntilInt64(p, release, CmpGE, seq)
+		return
+	}
+
+	LocalPut(p, pe, slot, contrib)
+	pe.WaitUntilInt64(p, arrive, CmpGE, seq*int64(as.Size-1))
+	acc := make([]T, nelems)
+	LocalGet(p, pe, pWrk, acc)
+	row := make([]T, nelems)
+	for rk := 1; rk < as.Size; rk++ {
+		LocalGet(p, pe, pWrk+SymAddr(rk*nelems*es), row)
+		for i := range acc {
+			acc[i] = combine(op, acc[i], row[i])
+		}
+	}
+	LocalPut(p, pe, dst, acc)
+	for rk := 1; rk < as.Size; rk++ {
+		m := as.Member(rk)
+		Put(p, pe, m, dst, acc)
+		pe.AddInt64(p, m, release, 1) // ordered behind the result
+	}
+}

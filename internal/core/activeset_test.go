@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestActiveSetGeometry(t *testing.T) {
+	as := ActiveSet{Start: 1, LogStride: 1, Size: 3} // PEs 1, 3, 5
+	want := []int{1, 3, 5}
+	got := as.Members()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	ranks := map[int]int{1: 0, 3: 1, 5: 2, 0: -1, 2: -1, 4: -1, 6: -1}
+	for pe, want := range ranks {
+		if got := as.Rank(pe); got != want {
+			t.Errorf("Rank(%d) = %d, want %d", pe, got, want)
+		}
+	}
+	if as.Member(2) != 5 {
+		t.Errorf("Member(2) = %d", as.Member(2))
+	}
+}
+
+func TestActiveSetValidation(t *testing.T) {
+	w := newWorld(4, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			for _, bad := range []ActiveSet{
+				{Start: 0, LogStride: 0, Size: 0},  // empty
+				{Start: 0, LogStride: 0, Size: 9},  // too big
+				{Start: 2, LogStride: 1, Size: 3},  // 2,4,6 exceeds 4 PEs
+				{Start: -1, LogStride: 0, Size: 2}, // negative start
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Errorf("set %+v accepted", bad)
+						}
+					}()
+					pe.BarrierSet(p, bad, pSync)
+				}()
+			}
+			// Non-member call panics too.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("non-member barrier accepted")
+					}
+				}()
+				pe.BarrierSet(p, ActiveSet{Start: 1, LogStride: 0, Size: 2}, pSync)
+			}()
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSetSynchronisesMembersOnly(t *testing.T) {
+	// PEs 0, 2, 4 of a 6-ring form the set; odd PEs never participate.
+	w := newWorld(6, Options{})
+	as := ActiveSet{Start: 0, LogStride: 1, Size: 3}
+	enter := make([]sim.Time, 6)
+	leave := make([]sim.Time, 6)
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		pe.BarrierAll(p)
+		if as.Rank(pe.ID()) >= 0 {
+			p.Sleep(sim.Duration(pe.ID()) * 400 * sim.Microsecond)
+			enter[pe.ID()] = p.Now()
+			pe.BarrierSet(p, as, pSync)
+			leave[pe.ID()] = p.Now()
+			// Reuse without reinitialisation.
+			pe.BarrierSet(p, as, pSync)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastEnter sim.Time
+	for _, m := range as.Members() {
+		if enter[m] > lastEnter {
+			lastEnter = enter[m]
+		}
+	}
+	for _, m := range as.Members() {
+		if leave[m] < lastEnter {
+			t.Fatalf("member %d left set barrier at %v before last entry %v", m, leave[m], lastEnter)
+		}
+	}
+}
+
+func TestBarrierSetSingleton(t *testing.T) {
+	w := newWorld(3, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			before := p.Now()
+			pe.BarrierSet(p, ActiveSet{Start: 1, LogStride: 0, Size: 1}, pSync)
+			if p.Now() != before {
+				t.Error("singleton set barrier should be free")
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSetStrided(t *testing.T) {
+	w := newWorld(6, Options{})
+	as := ActiveSet{Start: 1, LogStride: 1, Size: 3} // PEs 1, 3, 5
+	results := make([][]int64, 6)
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		data := pe.MustMalloc(p, 5*8)
+		pe.BarrierAll(p)
+		if as.Rank(pe.ID()) >= 0 {
+			if pe.ID() == 3 {
+				LocalPut(p, pe, data, []int64{10, 20, 30, 40, 50})
+			}
+			BroadcastSet[int64](p, pe, as, 3, data, data, 5, pSync)
+			out := make([]int64, 5)
+			LocalGet(p, pe, data, out)
+			results[pe.ID()] = out
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range as.Members() {
+		for i, v := range results[m] {
+			if v != int64((i+1)*10) {
+				t.Fatalf("member %d broadcast = %v", m, results[m])
+			}
+		}
+	}
+	// Non-members untouched.
+	if results[0] != nil || results[2] != nil || results[4] != nil {
+		t.Fatal("non-member participated")
+	}
+}
+
+func TestReduceSetStrided(t *testing.T) {
+	w := newWorld(8, Options{})
+	as := ActiveSet{Start: 0, LogStride: 2, Size: 2} // PEs 0, 4
+	sums := make([]int64, 8)
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		pWrk := pe.MustMalloc(p, 2*8)
+		val := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if as.Rank(pe.ID()) >= 0 {
+			LocalPut(p, pe, val, []int64{int64(pe.ID() + 1)})
+			ReduceSet[int64](p, pe, as, OpSum, val, val, 1, pWrk, pSync)
+			var out [1]int64
+			LocalGet(p, pe, val, out[:])
+			sums[pe.ID()] = out[0]
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range as.Members() {
+		if sums[m] != 6 { // (0+1) + (4+1)
+			t.Fatalf("member %d reduce = %d, want 6", m, sums[m])
+		}
+	}
+}
+
+func TestReduceSetRepeatedReusesPSync(t *testing.T) {
+	w := newWorld(4, Options{})
+	as := ActiveSet{Start: 0, LogStride: 0, Size: 4}
+	var out [1]int64
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		pWrk := pe.MustMalloc(p, 4*8)
+		val := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		for round := 1; round <= 5; round++ {
+			LocalPut(p, pe, val, []int64{int64(round)})
+			ReduceSet[int64](p, pe, as, OpSum, val, val, 1, pWrk, pSync)
+			LocalGet(p, pe, val, out[:])
+			if out[0] != int64(4*round) {
+				t.Errorf("round %d: pe %d sum = %d, want %d", round, pe.ID(), out[0], 4*round)
+				return
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSetLargePayloadOrdering(t *testing.T) {
+	// A multi-chunk broadcast to far members must not let the ready
+	// flag overtake the data.
+	w := newWorld(5, Options{})
+	as := ActiveSet{Start: 0, LogStride: 0, Size: 5}
+	const n = 12_000
+	bad := false
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pSync := pe.MustMalloc(p, BarrierSyncWords*8)
+		data := pe.MustMalloc(p, n*8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(i) * 3
+			}
+			LocalPut(p, pe, data, vals)
+		}
+		BroadcastSet[int64](p, pe, as, 0, data, data, n, pSync)
+		out := make([]int64, n)
+		LocalGet(p, pe, data, out)
+		for i, v := range out {
+			if v != int64(i)*3 {
+				bad = true
+				return
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("broadcast flag overtook its data")
+	}
+}

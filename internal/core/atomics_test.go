@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFetchAddAllPEsConverges(t *testing.T) {
+	const perPE = 20
+	w := newWorld(4, Options{})
+	finals := make([]int64, 4)
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		ctr := pe.MustMalloc(p, 8)
+		if pe.ID() == 0 {
+			pe.LocalWrite(p, ctr, make([]byte, 8))
+		}
+		pe.BarrierAll(p)
+		for i := 0; i < perPE; i++ {
+			pe.FetchAddInt64(p, 0, ctr, 1)
+		}
+		pe.BarrierAll(p)
+		finals[pe.ID()] = pe.FetchInt64(p, 0, ctr)
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range finals {
+		if v != 4*perPE {
+			t.Errorf("pe %d read final counter %d, want %d", id, v, 4*perPE)
+		}
+	}
+}
+
+func TestFetchAddReturnsUniqueTickets(t *testing.T) {
+	w := newWorld(3, Options{})
+	var tickets []int64
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		ctr := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		for i := 0; i < 10; i++ {
+			tickets = append(tickets, pe.FetchAddInt64(p, 1, ctr, 1))
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, tk := range tickets {
+		if seen[tk] {
+			t.Fatalf("duplicate ticket %d", tk)
+		}
+		seen[tk] = true
+	}
+	if len(seen) != 30 {
+		t.Fatalf("%d tickets, want 30", len(seen))
+	}
+}
+
+func TestCompareSwapSemantics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		v := pe.MustMalloc(p, 8)
+		if pe.ID() == 1 {
+			LocalPut[int64](p, pe, v, []int64{100})
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			if old := pe.CompareSwapInt64(p, 1, v, 99, 1); old != 100 {
+				t.Errorf("failed cswap returned %d, want 100", old)
+			}
+			if old := pe.CompareSwapInt64(p, 1, v, 100, 7); old != 100 {
+				t.Errorf("successful cswap returned %d, want 100", old)
+			}
+			if got := pe.FetchInt64(p, 1, v); got != 7 {
+				t.Errorf("value after cswap = %d, want 7", got)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapSetFetchInc(t *testing.T) {
+	w := newWorld(3, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		v := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 2 {
+			pe.SetInt64(p, 0, v, 41)
+			if old := pe.SwapInt64(p, 0, v, 5); old != 41 {
+				t.Errorf("swap old = %d", old)
+			}
+			pe.IncInt64(p, 0, v)
+			if old := pe.FetchIncInt64(p, 0, v); old != 6 {
+				t.Errorf("fetch-inc old = %d", old)
+			}
+			if got := pe.FetchInt64(p, 0, v); got != 7 {
+				t.Errorf("final = %d", got)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitwiseAtomics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		v := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.SetInt64(p, 1, v, 0b1100)
+			pe.AndInt64(p, 1, v, 0b1010)
+			pe.OrInt64(p, 1, v, 0b0001)
+			pe.XorInt64(p, 1, v, 0b1111)
+			// 1100 & 1010 = 1000; | 0001 = 1001; ^ 1111 = 0110
+			if got := pe.FetchInt64(p, 1, v); got != 0b0110 {
+				t.Errorf("bitwise chain = %#b, want 0b0110", got)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt32Atomics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		// Two adjacent int32 counters must not clobber each other.
+		v := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.SetInt32(p, 1, v, -5)
+			pe.SetInt32(p, 1, v+4, 1000)
+			if old := pe.FetchAddInt32(p, 1, v, -3); old != -5 {
+				t.Errorf("fetch-add32 old = %d", old)
+			}
+			if got := pe.FetchInt32(p, 1, v); got != -8 {
+				t.Errorf("low counter = %d", got)
+			}
+			if got := pe.FetchInt32(p, 1, v+4); got != 1000 {
+				t.Errorf("high counter clobbered: %d", got)
+			}
+			if old := pe.CompareSwapInt32(p, 1, v, -8, 3); old != -8 {
+				t.Errorf("cswap32 old = %d", old)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfAtomics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		v := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		pe.SetInt64(p, pe.ID(), v, int64(pe.ID())*10)
+		if got := pe.FetchAddInt64(p, pe.ID(), v, 1); got != int64(pe.ID())*10 {
+			t.Errorf("pe %d self fetch-add old = %d", pe.ID(), got)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	w := newWorld(4, Options{})
+	inCS := 0
+	maxCS := 0
+	total := 0
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		lock := pe.MustMalloc(p, 8)
+		if pe.ID() == 0 {
+			pe.LocalWrite(p, lock, make([]byte, 8))
+		}
+		pe.BarrierAll(p)
+		for i := 0; i < 5; i++ {
+			pe.SetLock(p, lock)
+			inCS++
+			if inCS > maxCS {
+				maxCS = inCS
+			}
+			total++
+			p.Sleep(50 * sim.Microsecond)
+			inCS--
+			pe.ClearLock(p, lock)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxCS != 1 {
+		t.Fatalf("lock mutual exclusion violated: max in CS = %d", maxCS)
+	}
+	if total != 20 {
+		t.Fatalf("critical sections run = %d, want 20", total)
+	}
+}
+
+func TestTestLock(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		lock := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			if !pe.TestLock(p, lock) {
+				t.Error("TestLock on free lock failed")
+			}
+			if pe.TestLock(p, lock) {
+				t.Error("TestLock on held lock succeeded")
+			}
+			pe.ClearLock(p, lock)
+			if !pe.TestLock(p, lock) {
+				t.Error("TestLock after release failed")
+			}
+			pe.ClearLock(p, lock)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearForeignLockPanics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		lock := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.SetLock(p, lock)
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("clearing a foreign lock did not panic")
+					}
+				}()
+				pe.ClearLock(p, lock)
+			}()
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.ClearLock(p, lock)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMOOpStrings(t *testing.T) {
+	for op, want := range map[AMOOp]string{
+		AMOFetch: "fetch", AMOSet: "set", AMOAdd: "add", AMOSwap: "swap",
+		AMOCSwap: "cswap", AMOAnd: "and", AMOOr: "or", AMOXor: "xor",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+	if got := fmt.Sprint(AMOOp(99)); got != "amo(99)" {
+		t.Errorf("unknown op prints %q", got)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/driver"
+	"repro/internal/sim"
+)
+
+// BarrierAll is shmem_barrier_all. All PEs must call it; on return, every
+// PE has entered the barrier and — for the default ring algorithm — every
+// put issued before the barrier is visible in its destination heap.
+//
+// Implementation follows the paper's Fig 6 for BarrierRing; the
+// centralised and dissemination variants exist for the barrier-algorithm
+// ablation.
+func (pe *PE) BarrierAll(p *sim.Proc) {
+	pe.checkLive()
+	opStart := p.Now()
+	defer pe.emitOp(p, "barrier", -1, 0, opStart)
+	pe.stats.Barriers++
+	// "It is first checked if previous DMA data transfer for Put or Get
+	// has been completed" (§III-B.4).
+	pe.Quiet(p)
+	pe.drainLocal(p)
+	switch pe.world.opts.Barrier {
+	case BarrierCentral:
+		pe.barrierCentral(p)
+	case BarrierDissemination:
+		pe.barrierDissemination(p)
+	default:
+		pe.barrierRing(p)
+	}
+	pe.barrierEpoch++
+}
+
+// barrierRing is the paper's two-round protocol: host 0 sends
+// BARRIER_START rightward; each host forwards it after flushing its own
+// relay queue; when the start round returns to host 0 it launches the
+// BARRIER_END round the same way, and hosts release as the end passes.
+//
+// The per-hop flush is what upgrades the barrier from synchronisation to
+// delivery: a host only propagates the token once every chunk staged on
+// it has been pushed one hop (and acknowledged — for a final hop that
+// means copied into the destination heap). Induction along the token's
+// path flushes every chain that runs in the token's direction, so under
+// shortest-path routing a second, leftward round is required for the
+// leftward chains.
+func (pe *PE) barrierRing(p *sim.Proc) {
+	pe.ringRound(p, driver.DirRight)
+	if pe.world.opts.Routing == RouteShortest {
+		pe.ringRound(p, driver.DirLeft)
+	}
+}
+
+// ringRound circulates one start round and one end round in the given
+// direction.
+func (pe *PE) ringRound(p *sim.Proc, dir driver.Dir) {
+	out := pe.host.RightEP
+	startQ, endQ := pe.startQ, pe.endQ
+	if dir == driver.DirLeft {
+		out = pe.host.LeftEP
+		startQ, endQ = pe.startQL, pe.endQL
+	}
+	if pe.id == 0 {
+		out.Ring(p, driver.VecBarrierStart)
+		pe.waitToken(p, startQ)
+		pe.drainLocal(p)
+		out.Ring(p, driver.VecBarrierEnd)
+		pe.waitToken(p, endQ)
+	} else {
+		pe.waitToken(p, startQ)
+		pe.drainLocal(p)
+		out.Ring(p, driver.VecBarrierStart)
+		pe.waitToken(p, endQ)
+		out.Ring(p, driver.VecBarrierEnd)
+	}
+}
+
+// waitToken blocks on a doorbell-token queue and charges the application
+// thread wake-up cost.
+func (pe *PE) waitToken(p *sim.Proc, q *sim.Queue[struct{}]) {
+	q.Pop(p)
+	p.Sleep(pe.par.AppWake)
+}
+
+// ctlKey builds the control-token key for (epoch, round/phase).
+func (pe *PE) ctlKey(round int) uint32 {
+	return pe.barrierEpoch<<8 | uint32(round)
+}
+
+// sendCtl routes one barrier-control token to another PE through the
+// ordinary message path, so tokens cannot overtake data staged on the
+// same ring segments.
+func (pe *PE) sendCtl(p *sim.Proc, target, round int) {
+	dir := pe.dirTo(target)
+	tx, nextHop := pe.txToward(dir)
+	info := driver.Info{
+		Kind:   driver.KindBarrierCtl,
+		Src:    uint8(pe.id),
+		Dst:    uint8(target),
+		Dir:    dir,
+		Region: pe.regionFor(target, nextHop),
+		Tag:    pe.ctlKey(round),
+	}
+	tx.SendChunk(p, info, driver.Payload{}, pe.mode)
+}
+
+// waitCtl blocks until count tokens for (epoch, round) have arrived, then
+// consumes them.
+func (pe *PE) waitCtl(p *sim.Proc, round, count int) {
+	key := pe.ctlKey(round)
+	for pe.ctl[key] < count {
+		pe.ctlCond.Wait(p)
+	}
+	pe.ctl[key] -= count
+	if pe.ctl[key] == 0 {
+		delete(pe.ctl, key)
+	}
+	p.Sleep(pe.par.AppWake)
+}
+
+// Phases for the centralised barrier's round field.
+const (
+	ctlArrive  = 0
+	ctlRelease = 1
+)
+
+// barrierCentral gathers arrivals at host 0 and fans releases back out.
+// On a ring every token is itself multi-hop, which is exactly why the
+// paper rejects a centralised shared counter for this fabric.
+func (pe *PE) barrierCentral(p *sim.Proc) {
+	n := pe.NumPEs()
+	if pe.id == 0 {
+		pe.waitCtl(p, ctlArrive, n-1)
+		pe.drainLocal(p)
+		for t := 1; t < n; t++ {
+			pe.sendCtl(p, t, ctlRelease)
+		}
+	} else {
+		pe.sendCtl(p, 0, ctlArrive)
+		pe.waitCtl(p, ctlRelease, 1)
+	}
+}
+
+// barrierDissemination runs ceil(log2 N) rounds; in round r, PE i
+// signals PE (i+2^r) mod N and waits for the signal from (i-2^r) mod N.
+// Each PE flushes its relay queue before signalling so tokens push
+// staged data ahead of themselves.
+func (pe *PE) barrierDissemination(p *sim.Proc) {
+	n := pe.NumPEs()
+	for r, dist := 0, 1; dist < n; r, dist = r+1, dist*2 {
+		pe.drainLocal(p)
+		pe.sendCtl(p, (pe.id+dist)%n, r)
+		pe.waitCtl(p, r, 1)
+	}
+}
+
+// SyncAll is shmem_sync_all: a pure synchronisation barrier that does not
+// imply put delivery. It always uses the ring doorbell protocol without
+// the relay flush, and exists so the ablation can price the flush.
+func (pe *PE) SyncAll(p *sim.Proc) {
+	pe.checkLive()
+	right := pe.host.RightEP
+	if pe.id == 0 {
+		right.Ring(p, driver.VecBarrierStart)
+		pe.waitToken(p, pe.startQ)
+		right.Ring(p, driver.VecBarrierEnd)
+		pe.waitToken(p, pe.endQ)
+	} else {
+		pe.waitToken(p, pe.startQ)
+		right.Ring(p, driver.VecBarrierStart)
+		pe.waitToken(p, pe.endQ)
+		right.Ring(p, driver.VecBarrierEnd)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestContextIndependentQuiet(t *testing.T) {
+	// Quieting one context must not wait for another context's bulk
+	// transfer.
+	w := newWorld(3, Options{})
+	var smallQuietAt, bulkQuietAt sim.Time
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		bulkSym := pe.MustMalloc(p, 1<<20)
+		flagSym := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			bulk := pe.CtxCreate()
+			small := pe.CtxCreate()
+			bulk.PutBytesNBI(p, 1, bulkSym, make([]byte, 1<<20))
+			small.PutBytesNBI(p, 2, flagSym, make([]byte, 8))
+			small.Quiet(p)
+			smallQuietAt = p.Now()
+			bulk.Quiet(p)
+			bulkQuietAt = p.Now()
+			bulk.Destroy(p)
+			small.Destroy(p)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallQuietAt >= bulkQuietAt {
+		t.Fatalf("small-context quiet (%v) should finish well before the bulk context (%v)",
+			smallQuietAt, bulkQuietAt)
+	}
+}
+
+func TestContextDataIntegrity(t *testing.T) {
+	w := newWorld(3, Options{})
+	const n = 60_000
+	want := bytes.Repeat([]byte{0xB7}, n)
+	var got []byte
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, n)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			ctx := pe.CtxCreate()
+			ctx.PutBytesNBI(p, 2, sym, want)
+			ctx.Quiet(p)
+			ctx.Destroy(p)
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 2 {
+			got = make([]byte, n)
+			pe.LocalRead(p, sym, got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("context put corrupted")
+	}
+}
+
+func TestContextGetNBI(t *testing.T) {
+	w := newWorld(2, Options{})
+	var got []byte
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 1024)
+		if pe.ID() == 1 {
+			pe.LocalWrite(p, sym, bytes.Repeat([]byte{0x11}, 1024))
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			ctx := pe.CtxCreate()
+			got = make([]byte, 1024)
+			ctx.GetBytesNBI(p, 1, sym, got)
+			if ctx.Outstanding() == 0 {
+				t.Error("NBI get completed synchronously")
+			}
+			ctx.Quiet(p)
+			ctx.Destroy(p)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0x11 {
+			t.Fatal("context get corrupted")
+		}
+	}
+}
+
+func TestDestroyedContextPanics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			ctx := pe.CtxCreate()
+			ctx.Destroy(p)
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("use after Destroy did not panic")
+					}
+				}()
+				ctx.PutBytes(p, 1, sym, make([]byte, 8))
+			}()
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalizeDrainsForgottenContexts(t *testing.T) {
+	w := newWorld(2, Options{})
+	var got []byte
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 10_000)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			ctx := pe.CtxCreate()
+			ctx.PutBytesNBI(p, 1, sym, bytes.Repeat([]byte{0x42}, 10_000))
+			// No Quiet, no Destroy: Finalize must drain it.
+		}
+		pe.Finalize(p)
+		if pe.ID() == 1 {
+			got = make([]byte, 10_000)
+			pe.heap.Read(int64(sym), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0x42 {
+			t.Fatal("Finalize lost an undrained context's put")
+		}
+	}
+}
+
+func TestBlockingOpsOnContext(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 64)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			ctx := pe.CtxCreate()
+			ctx.PutBytes(p, 1, sym, bytes.Repeat([]byte{7}, 64))
+			buf := make([]byte, 64)
+			ctx.GetBytes(p, 1, sym, buf)
+			if buf[0] != 7 || buf[63] != 7 {
+				t.Error("context blocking round trip corrupted")
+			}
+			ctx.Destroy(p)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/driver"
+	"repro/internal/sim"
+)
+
+// Tests for the pipelined header-in-window link protocol (Options.
+// Pipeline >= 2), the implemented version of the paper's future-work
+// latency reduction.
+
+func TestPipelinePutIntegrityAllHops(t *testing.T) {
+	for _, depth := range []int{2, 4, 8} {
+		for _, hops := range []int{1, 2} {
+			w := newWorldOpts(3, Options{Pipeline: depth})
+			const n = 200_000
+			want := make([]byte, n)
+			rand.New(rand.NewSource(int64(depth*10 + hops))).Read(want)
+			var got []byte
+			err := w.Run(func(p *sim.Proc, pe *PE) {
+				sym := pe.MustMalloc(p, n)
+				pe.BarrierAll(p)
+				if pe.ID() == 0 {
+					pe.PutBytes(p, hops, sym, want)
+				}
+				pe.BarrierAll(p)
+				if pe.ID() == hops {
+					got = make([]byte, n)
+					pe.LocalRead(p, sym, got)
+				}
+			})
+			if err != nil {
+				t.Fatalf("depth=%d hops=%d: %v", depth, hops, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("depth=%d hops=%d: data corrupted", depth, hops)
+			}
+		}
+	}
+}
+
+func TestPipelineGetAndAtomics(t *testing.T) {
+	w := newWorldOpts(3, Options{Pipeline: 4})
+	const n = 90_000
+	want := bytes.Repeat([]byte{0x3C}, n)
+	var got []byte
+	var counter int64
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, n)
+		ctr := pe.MustMalloc(p, 8)
+		if pe.ID() == 2 {
+			pe.LocalWrite(p, sym, want)
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			got = make([]byte, n)
+			pe.GetBytes(p, 2, sym, got)
+		}
+		pe.FetchAddInt64(p, 1, ctr, int64(pe.ID())+1)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			counter = pe.FetchInt64(p, 1, ctr)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("pipelined get corrupted")
+	}
+	if counter != 6 {
+		t.Fatalf("pipelined atomics sum = %d, want 6", counter)
+	}
+}
+
+func TestPipelinePutLatencyBelowStopAndWait(t *testing.T) {
+	// The point of the exercise: with credits, a put's chunks stream
+	// without waiting for per-chunk ACKs.
+	lat := func(depth int) sim.Duration {
+		w := newWorldOpts(3, Options{Pipeline: depth})
+		var d sim.Duration
+		const n = 512 << 10
+		err := w.Run(func(p *sim.Proc, pe *PE) {
+			sym := pe.MustMalloc(p, n)
+			pe.BarrierAll(p)
+			if pe.ID() == 0 {
+				start := p.Now()
+				pe.PutBytes(p, 1, sym, make([]byte, n))
+				d = p.Now().Sub(start)
+			}
+			pe.BarrierAll(p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	classic, pipe4 := lat(0), lat(4)
+	if float64(pipe4) > 0.5*float64(classic) {
+		t.Fatalf("pipelined put (%v) should be far below stop-and-wait (%v)", pipe4, classic)
+	}
+	pipe8 := lat(8)
+	if pipe8 > pipe4 {
+		t.Fatalf("deeper pipeline (%v) should not be slower than depth 4 (%v)", pipe8, pipe4)
+	}
+}
+
+func TestPipelineBarrierFlushesMultiHop(t *testing.T) {
+	// The delivery-flush property must survive the protocol change:
+	// chunks may sit unprocessed in inbound windows when a barrier
+	// token arrives, and the token must wait for them.
+	f := func(seed int64) bool {
+		n := 4 + int(seed%3)
+		w := newWorldOpts(n, Options{Pipeline: 4})
+		const sz = 15_000
+		ok := true
+		err := w.Run(func(p *sim.Proc, pe *PE) {
+			sym := pe.MustMalloc(p, sz*n)
+			pe.BarrierAll(p)
+			for tgt := 0; tgt < n; tgt++ {
+				if tgt == pe.ID() {
+					continue
+				}
+				block := bytes.Repeat([]byte{byte(pe.ID()*16 + tgt)}, sz)
+				pe.PutBytesNBI(p, tgt, sym+SymAddr(pe.ID()*sz), block)
+			}
+			pe.BarrierAll(p)
+			buf := make([]byte, sz)
+			for from := 0; from < n; from++ {
+				if from == pe.ID() {
+					continue
+				}
+				pe.LocalRead(p, sym+SymAddr(from*sz), buf)
+				want := byte(from*16 + pe.ID())
+				for _, b := range buf {
+					if b != want {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineDifferentialPrograms(t *testing.T) {
+	for seed := int64(11); seed <= 13; seed++ {
+		runDifferential(t, seed, Options{Pipeline: 4}, 4, 3, 2500)
+	}
+	runDifferential(t, 21, Options{Pipeline: 8, Routing: RouteShortest}, 5, 3, 2000)
+}
+
+func TestPipelineSignalOrdering(t *testing.T) {
+	// Data-before-signal must hold: both ride the same in-order slots.
+	w := newWorldOpts(3, Options{Pipeline: 4})
+	const n = 64 << 10
+	payload := bytes.Repeat([]byte{0xD4}, n)
+	var got []byte
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		data := pe.MustMalloc(p, n)
+		sig := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.PutSignal(p, 2, data, payload, sig, SignalSet, 1)
+		}
+		if pe.ID() == 2 {
+			pe.WaitUntilInt64(p, sig, CmpEQ, 1)
+			got = make([]byte, n)
+			pe.LocalRead(p, data, got)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("signal overtook data under pipelining")
+	}
+}
+
+func TestPipelineCollectives(t *testing.T) {
+	w := newWorldOpts(4, Options{Pipeline: 4})
+	sums := make([]int64, 4)
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		src := pe.MustMalloc(p, 8)
+		dst := pe.MustMalloc(p, 8)
+		LocalPut(p, pe, src, []int64{int64(pe.ID() + 1)})
+		pe.BarrierAll(p)
+		Reduce[int64](p, pe, OpSum, dst, src, 1)
+		var o [1]int64
+		LocalGet(p, pe, dst, o[:])
+		sums[pe.ID()] = o[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range sums {
+		if s != 10 {
+			t.Fatalf("pe %d pipelined reduce = %d", id, s)
+		}
+	}
+}
+
+func TestPipelineTooDeepRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("absurd pipeline depth accepted")
+		}
+	}()
+	// 1MB window / 64 slots = 16KB slots < 64KB BypassChunk.
+	newWorldOpts(3, Options{Pipeline: 64})
+}
+
+func TestPipelineSendRecv(t *testing.T) {
+	w := newWorldOpts(3, Options{Pipeline: 4})
+	var got []byte
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.Send(p, 2, 9, []byte("rendezvous over the pipeline"))
+		}
+		if pe.ID() == 2 {
+			got = make([]byte, 64)
+			n := pe.Recv(p, 0, 9, got)
+			got = got[:n]
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "rendezvous over the pipeline" {
+		t.Fatalf("pipelined send/recv = %q", got)
+	}
+}
+
+func TestPipelineStatsStillCount(t *testing.T) {
+	w := newWorldOpts(3, Options{Pipeline: 2})
+	var st Stats
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 4096)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.PutBytes(p, 2, sym, make([]byte, 4096))
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			st = pe.Stats()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksForwarded == 0 {
+		t.Fatal("transit host forwarded nothing under pipelining")
+	}
+	_ = driver.SlotHeaderBytes
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// newWorldOpts builds an n-host world with explicit options.
+func newWorldOpts(n int, opts Options) *World {
+	s := sim.New()
+	c := fabric.NewRing(s, model.Default(), n)
+	return NewWorld(c, opts)
+}
+
+func TestDirToShortestArc(t *testing.T) {
+	w := newWorldOpts(5, Options{Routing: RouteShortest})
+	pe0 := w.PEs()[0]
+	cases := []struct {
+		dst  int
+		want driver.Dir
+	}{
+		{1, driver.DirRight}, // 1 right vs 4 left
+		{2, driver.DirRight}, // 2 right vs 3 left
+		{3, driver.DirLeft},  // 3 right vs 2 left
+		{4, driver.DirLeft},  // 4 right vs 1 left
+	}
+	for _, c := range cases {
+		if got := pe0.dirTo(c.dst); got != c.want {
+			t.Errorf("dirTo(%d) = %v, want %v", c.dst, got, c.want)
+		}
+	}
+	// Even split ties go rightward.
+	w4 := newWorldOpts(4, Options{Routing: RouteShortest})
+	if got := w4.PEs()[0].dirTo(2); got != driver.DirRight {
+		t.Errorf("tie should go rightward, got %v", got)
+	}
+	// The paper's policy is always rightward.
+	wr := newWorldOpts(5, Options{})
+	for dst := 1; dst < 5; dst++ {
+		if got := wr.PEs()[0].dirTo(dst); got != driver.DirRight {
+			t.Errorf("rightward policy: dirTo(%d) = %v", dst, got)
+		}
+	}
+}
+
+func TestShortestRoutingIntegrity(t *testing.T) {
+	// Every pair exchanges tagged data under shortest routing; all
+	// blocks must arrive intact whichever arc they took.
+	const n = 6
+	w := newWorldOpts(n, Options{Routing: RouteShortest})
+	const sz = 15_000
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, sz*n)
+		pe.BarrierAll(p)
+		for tgt := 0; tgt < n; tgt++ {
+			if tgt == pe.ID() {
+				continue
+			}
+			pe.PutBytes(p, tgt, sym+SymAddr(pe.ID()*sz),
+				bytes.Repeat([]byte{byte(pe.ID()*16 + tgt)}, sz))
+		}
+		pe.BarrierAll(p)
+		buf := make([]byte, sz)
+		for from := 0; from < n; from++ {
+			if from == pe.ID() {
+				continue
+			}
+			pe.LocalRead(p, sym+SymAddr(from*sz), buf)
+			want := byte(from*16 + pe.ID())
+			for _, b := range buf {
+				if b != want {
+					t.Errorf("pe %d slot %d corrupted: got %d want %d", pe.ID(), from, b, want)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestRoutingGets(t *testing.T) {
+	const n = 5
+	w := newWorldOpts(n, Options{Routing: RouteShortest})
+	const sz = 9_000
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, sz)
+		pe.LocalWrite(p, sym, bytes.Repeat([]byte{byte('a' + pe.ID())}, sz))
+		pe.BarrierAll(p)
+		// Everyone gets from the PE two to its LEFT (a leftward-routed
+		// request under shortest policy).
+		owner := (pe.ID() - 2 + n) % n
+		got := make([]byte, sz)
+		pe.GetBytes(p, owner, sym, got)
+		for _, b := range got {
+			if b != byte('a'+owner) {
+				t.Errorf("pe %d got %c from %d", pe.ID(), b, owner)
+				return
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestHalvesFarTransferLatency(t *testing.T) {
+	// A put from PE 0 to PE n-1 is (n-1) rightward hops under the
+	// paper's policy but a single leftward hop under shortest routing,
+	// and gets shed the same distance. Gets are synchronous round
+	// trips, so they show the gap sharply.
+	const n = 6
+	const size = 64 << 10
+	lat := func(routing Routing) sim.Duration {
+		w := newWorldOpts(n, Options{Routing: routing})
+		var d sim.Duration
+		err := w.Run(func(p *sim.Proc, pe *PE) {
+			sym := pe.MustMalloc(p, size)
+			buf := make([]byte, size)
+			pe.BarrierAll(p)
+			if pe.ID() == 0 {
+				start := p.Now()
+				pe.GetBytes(p, n-1, sym, buf)
+				d = p.Now().Sub(start)
+			}
+			pe.BarrierAll(p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	right, short := lat(RouteRightward), lat(RouteShortest)
+	if float64(short) > 0.5*float64(right) {
+		t.Fatalf("shortest routing get (%v) should be far below rightward (%v)", short, right)
+	}
+}
+
+func TestShortestBarrierCostsTwoRounds(t *testing.T) {
+	cost := func(routing Routing) sim.Duration {
+		w := newWorldOpts(4, Options{Routing: routing})
+		var d sim.Duration
+		err := w.Run(func(p *sim.Proc, pe *PE) {
+			pe.BarrierAll(p)
+			start := p.Now()
+			pe.BarrierAll(p)
+			if pe.ID() == 0 {
+				d = p.Now().Sub(start)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	one, two := cost(RouteRightward), cost(RouteShortest)
+	ratio := float64(two) / float64(one)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("bidirectional barrier should cost ~2x: rightward %v, shortest %v", one, two)
+	}
+}
+
+func TestShortestBarrierFlushesBothDirections(t *testing.T) {
+	// The delivery-flush property under shortest routing: every
+	// pre-barrier put — including leftward multi-hop ones — is visible
+	// after BarrierAll, across random traffic patterns and ring sizes
+	// up to 8 (leftward chains up to 4 hops).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(4) // 5..8 hosts
+		w := newWorldOpts(n, Options{Routing: RouteShortest})
+		const sz = 8_000
+		ok := true
+		err := w.Run(func(p *sim.Proc, pe *PE) {
+			sym := pe.MustMalloc(p, sz*n)
+			pe.BarrierAll(p)
+			for tgt := 0; tgt < n; tgt++ {
+				if tgt == pe.ID() {
+					continue
+				}
+				block := bytes.Repeat([]byte{byte(pe.ID()*16 + tgt)}, sz)
+				pe.PutBytesNBI(p, tgt, sym+SymAddr(pe.ID()*sz), block)
+			}
+			pe.BarrierAll(p)
+			buf := make([]byte, sz)
+			for from := 0; from < n; from++ {
+				if from == pe.ID() {
+					continue
+				}
+				pe.LocalRead(p, sym+SymAddr(from*sz), buf)
+				want := byte(from*16 + pe.ID())
+				for _, b := range buf {
+					if b != want {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestRequiresRingBarrier(t *testing.T) {
+	for _, algo := range []BarrierAlgo{BarrierCentral, BarrierDissemination} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v + shortest routing was accepted", algo)
+				}
+			}()
+			newWorldOpts(3, Options{Routing: RouteShortest, Barrier: algo})
+		}()
+	}
+}
+
+func TestRoutingString(t *testing.T) {
+	if fmt.Sprint(RouteRightward) != "rightward" || fmt.Sprint(RouteShortest) != "shortest" {
+		t.Error("Routing.String broken")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStressMixedWorkload drives every major feature in one job, across
+// several configurations, with a deterministic pseudo-random schedule:
+// typed puts/gets, NBI streams with contexts, put-with-signal chains,
+// atomics, locks, wait-until, collectives, team collectives, send/recv —
+// interleaved over many rounds, with cross-checked results.
+func TestStressMixedWorkload(t *testing.T) {
+	configs := []Options{
+		{},
+		{Pipeline: 4},
+		{Routing: RouteShortest},
+	}
+	if testing.Short() {
+		configs = configs[:1]
+	}
+	for ci, opts := range configs {
+		opts := opts
+		t.Run(fmt.Sprintf("cfg%d", ci), func(t *testing.T) {
+			stressRun(t, opts, 5, 6)
+		})
+	}
+}
+
+func stressRun(t *testing.T, opts Options, hosts, rounds int) {
+	t.Helper()
+	const blk = 4000
+	w := newWorldOpts(hosts, opts)
+	var mismatches []string
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		n := pe.NumPEs()
+		me := pe.ID()
+		rng := rand.New(rand.NewSource(int64(me*97 + 13)))
+		slots := pe.MustMalloc(p, n*blk) // slot per owner, written by owner only
+		counter := pe.MustMalloc(p, 8)
+		lock := pe.MustMalloc(p, 8)
+		flag := pe.MustMalloc(p, 8)
+		redSrc := pe.MustMalloc(p, 8)
+		redDst := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+
+		ctx := pe.CtxCreate()
+		for r := 0; r < rounds; r++ {
+			tag := byte(r*31 + me*7 + 1)
+			block := bytes.Repeat([]byte{tag}, blk)
+			// Scatter my slot to every PE, mixing transports.
+			for tgt := 0; tgt < n; tgt++ {
+				dst := slots + SymAddr(me*blk)
+				switch {
+				case tgt == me:
+					pe.LocalWrite(p, dst, block)
+				case rng.Intn(3) == 0:
+					ctx.PutBytesNBI(p, tgt, dst, block)
+				default:
+					pe.PutBytes(p, tgt, dst, block)
+				}
+			}
+			ctx.Quiet(p)
+
+			// Locked read-modify-write on a shared counter.
+			pe.SetLock(p, lock)
+			v := pe.FetchInt64(p, 0, counter)
+			pe.SetInt64(p, 0, counter, v+1)
+			pe.ClearLock(p, lock)
+
+			pe.BarrierAll(p)
+
+			// Everyone verifies every slot against the round's tags.
+			buf := make([]byte, blk)
+			for from := 0; from < n; from++ {
+				pe.LocalRead(p, slots+SymAddr(from*blk), buf)
+				want := byte(r*31 + from*7 + 1)
+				for _, b := range buf {
+					if b != want {
+						mismatches = append(mismatches, fmt.Sprintf(
+							"round %d: pe %d slot %d holds %d want %d", r, me, from, b, want))
+						break
+					}
+				}
+			}
+
+			// Reduce a per-round contribution and check it.
+			LocalPut(p, pe, redSrc, []int64{int64(me + r)})
+			Reduce[int64](p, pe, OpSum, redDst, redSrc, 1)
+			var out [1]int64
+			LocalGet(p, pe, redDst, out[:])
+			wantSum := int64(n*r) + int64(n*(n-1)/2)
+			if out[0] != wantSum {
+				mismatches = append(mismatches, fmt.Sprintf(
+					"round %d: pe %d reduce %d want %d", r, me, out[0], wantSum))
+			}
+
+			// Neighbour signal chain: each PE re-puts its slot to its
+			// right neighbour with an attached signal and waits for the
+			// one arriving from its left.
+			right := (me + 1) % n
+			pe.PutSignal(p, right, slots+SymAddr(me*blk), block, flag, SignalAdd, 1)
+			pe.WaitUntilInt64(p, flag, CmpGE, int64(r+1))
+			pe.BarrierAll(p)
+		}
+
+		// Final counter check: hosts*rounds locked increments.
+		if got := pe.FetchInt64(p, 0, counter); got != int64(hosts*rounds) {
+			mismatches = append(mismatches, fmt.Sprintf(
+				"pe %d final counter %d want %d", me, got, hosts*rounds))
+		}
+		ctx.Destroy(p)
+		pe.Finalize(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) > 0 {
+		t.Fatalf("stress mismatches:\n%s", strings.Join(mismatches, "\n"))
+	}
+	// The stats report must account for the traffic.
+	report := w.StatsReport()
+	if !strings.Contains(report, "put-bytes") {
+		t.Fatalf("stats report malformed:\n%s", report)
+	}
+	for _, pe := range w.PEs() {
+		if pe.Stats().PutBytes == 0 || pe.Stats().Barriers == 0 {
+			t.Fatalf("pe %d stats empty:\n%s", pe.ID(), report)
+		}
+	}
+}
+
+// TestStressEnduranceLong runs a bigger instance, skipped in -short.
+func TestStressEnduranceLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("endurance run in -short mode")
+	}
+	stressRun(t, Options{Pipeline: 8}, 7, 8)
+}

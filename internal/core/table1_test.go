@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTable1 exercises, in one program, exactly the essential API set of
+// the paper's Table I:
+//
+//	shmem_init            — World.Run / initPE
+//	my_pe                 — PE.ID
+//	num_pes               — PE.NumPEs
+//	shmem_malloc          — PE.Malloc
+//	shmem_type_put        — Put[T]
+//	shmem_type_get        — Get[T]
+//	shmem_barrier_all     — PE.BarrierAll
+//	shmem_finalize        — PE.Finalize
+//
+// It is the repository's conformance witness for the table; DESIGN.md
+// points here.
+func TestTable1(t *testing.T) {
+	const hosts = 3
+	type report struct {
+		id, npes int
+		got      []int64
+	}
+	reports := make([]report, hosts)
+
+	w := newWorld(hosts, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) { // shmem_init happens inside
+		id := pe.ID()               // my_pe
+		npes := pe.NumPEs()         // num_pes
+		sym, e := pe.Malloc(p, 4*8) // shmem_malloc
+		if e != nil {
+			t.Errorf("malloc: %v", e)
+			return
+		}
+		pe.BarrierAll(p) // shmem_barrier_all
+
+		// shmem_type_put: everyone puts its signature vector to its
+		// right neighbour.
+		right := (id + 1) % npes
+		Put(p, pe, right, sym, []int64{int64(id), int64(id * 10), int64(id * 100), int64(id * 1000)})
+		pe.BarrierAll(p)
+
+		// shmem_type_get: read back what the left neighbour put here —
+		// via a remote get from one's own PE to exercise the API.
+		got := make([]int64, 4)
+		Get(p, pe, id, sym, got)
+		reports[id] = report{id, npes, got}
+
+		pe.Finalize(p) // shmem_finalize
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range reports {
+		if r.npes != hosts {
+			t.Errorf("pe %d: num_pes = %d", id, r.npes)
+		}
+		from := (id - 1 + hosts) % hosts
+		want := []int64{int64(from), int64(from * 10), int64(from * 100), int64(from * 1000)}
+		for i := range want {
+			if r.got[i] != want[i] {
+				t.Errorf("pe %d slot %d = %d, want %d", id, i, r.got[i], want[i])
+			}
+		}
+	}
+}

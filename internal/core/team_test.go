@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTeamWorldIdentity(t *testing.T) {
+	w := newWorld(4, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pe.BarrierAll(p)
+		team := pe.TeamWorld(p)
+		if team.MyPE() != pe.ID() || team.NumPEs() != 4 {
+			t.Errorf("world team identity: rank %d size %d", team.MyPE(), team.NumPEs())
+		}
+		for r := 0; r < 4; r++ {
+			if team.TranslateTo(r) != r {
+				t.Errorf("world team translate %d -> %d", r, team.TranslateTo(r))
+			}
+		}
+		team.Barrier(p)
+		team.Destroy(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamSplitStrided(t *testing.T) {
+	// Even PEs of a 6-ring form a team of 3.
+	w := newWorld(6, Options{})
+	ranks := make([]int, 6)
+	for i := range ranks {
+		ranks[i] = -2
+	}
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pe.BarrierAll(p)
+		team := pe.TeamSplitStrided(p, 0, 2, 3)
+		if team == nil {
+			ranks[pe.ID()] = -1 // SHMEM_TEAM_INVALID for non-members
+			pe.BarrierAll(p)
+			return
+		}
+		ranks[pe.ID()] = team.MyPE()
+		if team.NumPEs() != 3 {
+			t.Errorf("team size %d", team.NumPEs())
+		}
+		if got := team.TranslateTo(team.MyPE()); got != pe.ID() {
+			t.Errorf("round-trip translate %d -> %d", pe.ID(), got)
+		}
+		if team.TranslateFrom(1) != -1 {
+			t.Error("odd PE should not translate into the even team")
+		}
+		team.Barrier(p)
+		team.Destroy(p)
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, -1, 1, -1, 2, -1}
+	for id, r := range ranks {
+		if r != want[id] {
+			t.Errorf("pe %d rank = %d, want %d", id, r, want[id])
+		}
+	}
+}
+
+func TestTeamCollectives(t *testing.T) {
+	w := newWorld(6, Options{})
+	sums := make([]int64, 6)
+	bcast := make([]int64, 6)
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		val := pe.MustMalloc(p, 8)
+		out := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		team := pe.TeamSplitStrided(p, 1, 2, 3) // PEs 1, 3, 5
+		if team == nil {
+			pe.BarrierAll(p)
+			return
+		}
+		LocalPut(p, pe, val, []int64{int64(pe.ID())})
+		TeamReduce[int64](p, team, OpSum, out, val, 1)
+		var o [1]int64
+		LocalGet(p, pe, out, o[:])
+		sums[pe.ID()] = o[0]
+
+		// Broadcast from team rank 2 (world PE 5).
+		if team.MyPE() == 2 {
+			LocalPut(p, pe, val, []int64{777})
+		}
+		TeamBroadcast[int64](p, team, 2, val, val, 1)
+		LocalGet(p, pe, val, o[:])
+		bcast[pe.ID()] = o[0]
+		team.Destroy(p)
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 3, 5} {
+		if sums[id] != 1+3+5 {
+			t.Errorf("pe %d team sum = %d, want 9", id, sums[id])
+		}
+		if bcast[id] != 777 {
+			t.Errorf("pe %d team broadcast = %d, want 777", id, bcast[id])
+		}
+	}
+	for _, id := range []int{0, 2, 4} {
+		if sums[id] != 0 || bcast[id] != 0 {
+			t.Errorf("non-member pe %d touched by team collective", id)
+		}
+	}
+}
+
+func TestTeamMisuse(t *testing.T) {
+	w := newWorld(4, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		pe.BarrierAll(p)
+		team := pe.TeamWorld(p)
+		team.Destroy(p)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("use after team destroy did not panic")
+				}
+			}()
+			team.MyPE()
+		}()
+		if pe.ID() == 0 {
+			for _, f := range []func(){
+				func() { pe.TeamSplitStrided(p, 0, 3, 2) },  // non-power-of-two stride
+				func() { pe.TeamSplitStrided(p, 0, 0, 2) },  // zero stride
+				func() { pe.TeamSplitStrided(p, 0, 4, 99) }, // exceeds world
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Error("bad split accepted")
+						}
+					}()
+					f()
+				}()
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamReduceTooLargeRejected(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		big := pe.MustMalloc(p, teamWrkBytes*2)
+		pe.BarrierAll(p)
+		team := pe.TeamWorld(p)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("oversized team reduce accepted")
+				}
+			}()
+			TeamReduce[int64](p, team, OpSum, big, big, teamWrkBytes/4)
+		}()
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

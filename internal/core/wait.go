@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CmpOp is a comparison for point-to-point synchronisation
+// (shmem_wait_until's SHMEM_CMP_* constants).
+type CmpOp int
+
+const (
+	// CmpEQ waits for equality.
+	CmpEQ CmpOp = iota
+	// CmpNE waits for inequality.
+	CmpNE
+	// CmpGT waits for strictly greater.
+	CmpGT
+	// CmpGE waits for greater-or-equal.
+	CmpGE
+	// CmpLT waits for strictly less.
+	CmpLT
+	// CmpLE waits for less-or-equal.
+	CmpLE
+)
+
+func (c CmpOp) String() string {
+	switch c {
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	default:
+		return fmt.Sprintf("cmp(%d)", int(c))
+	}
+}
+
+func (c CmpOp) holds(v, ref int64) bool {
+	switch c {
+	case CmpEQ:
+		return v == ref
+	case CmpNE:
+		return v != ref
+	case CmpGT:
+		return v > ref
+	case CmpGE:
+		return v >= ref
+	case CmpLT:
+		return v < ref
+	case CmpLE:
+		return v <= ref
+	default:
+		panic(fmt.Sprintf("core: unknown comparison %d", int(c)))
+	}
+}
+
+// WaitUntilInt64 is shmem_int64_wait_until: block until the local copy of
+// the symmetric int64 at addr satisfies (value op ref). The variable is
+// typically updated by a remote put or atomic.
+func (pe *PE) WaitUntilInt64(p *sim.Proc, addr SymAddr, op CmpOp, ref int64) int64 {
+	pe.checkLive()
+	pe.checkHeapRange(addr, 8)
+	for {
+		if v := pe.peekInt64(addr); op.holds(v, ref) {
+			return v
+		}
+		pe.heapWrite.Wait(p)
+		p.Sleep(pe.par.AppWake)
+	}
+}
+
+// TestInt64 is shmem_int64_test: a non-blocking probe of the condition.
+func (pe *PE) TestInt64(p *sim.Proc, addr SymAddr, op CmpOp, ref int64) bool {
+	pe.checkLive()
+	pe.checkHeapRange(addr, 8)
+	p.Sleep(pe.par.LocalMMIO)
+	return op.holds(pe.peekInt64(addr), ref)
+}
+
+// WaitUntilAnyInt64 is shmem_int64_wait_until_any: block until at least
+// one of the symmetric int64 variables satisfies (value op ref), and
+// return its index. With an empty slice it returns -1 immediately.
+func (pe *PE) WaitUntilAnyInt64(p *sim.Proc, addrs []SymAddr, op CmpOp, ref int64) int {
+	pe.checkLive()
+	if len(addrs) == 0 {
+		return -1
+	}
+	for _, a := range addrs {
+		pe.checkHeapRange(a, 8)
+	}
+	for {
+		for i, a := range addrs {
+			if op.holds(pe.peekInt64(a), ref) {
+				return i
+			}
+		}
+		pe.heapWrite.Wait(p)
+		p.Sleep(pe.par.AppWake)
+	}
+}
+
+// WaitUntilAllInt64 is shmem_int64_wait_until_all: block until every one
+// of the symmetric int64 variables satisfies (value op ref).
+func (pe *PE) WaitUntilAllInt64(p *sim.Proc, addrs []SymAddr, op CmpOp, ref int64) {
+	pe.checkLive()
+	for _, a := range addrs {
+		pe.checkHeapRange(a, 8)
+	}
+	for {
+		all := true
+		for _, a := range addrs {
+			if !op.holds(pe.peekInt64(a), ref) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		pe.heapWrite.Wait(p)
+		p.Sleep(pe.par.AppWake)
+	}
+}
+
+// WaitUntilSomeInt64 is shmem_int64_wait_until_some: block until at
+// least one variable satisfies the condition, then return the indices of
+// all variables that currently satisfy it.
+func (pe *PE) WaitUntilSomeInt64(p *sim.Proc, addrs []SymAddr, op CmpOp, ref int64) []int {
+	pe.checkLive()
+	if len(addrs) == 0 {
+		return nil
+	}
+	for _, a := range addrs {
+		pe.checkHeapRange(a, 8)
+	}
+	for {
+		var hits []int
+		for i, a := range addrs {
+			if op.holds(pe.peekInt64(a), ref) {
+				hits = append(hits, i)
+			}
+		}
+		if len(hits) > 0 {
+			return hits
+		}
+		pe.heapWrite.Wait(p)
+		p.Sleep(pe.par.AppWake)
+	}
+}

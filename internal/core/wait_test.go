@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCmpOpTable(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		v    int64
+		ref  int64
+		want bool
+	}{
+		{CmpEQ, 5, 5, true}, {CmpEQ, 5, 6, false},
+		{CmpNE, 5, 6, true}, {CmpNE, 5, 5, false},
+		{CmpGT, 6, 5, true}, {CmpGT, 5, 5, false},
+		{CmpGE, 5, 5, true}, {CmpGE, 4, 5, false},
+		{CmpLT, 4, 5, true}, {CmpLT, 5, 5, false},
+		{CmpLE, 5, 5, true}, {CmpLE, 6, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.holds(c.v, c.ref); got != c.want {
+			t.Errorf("%d %v %d = %v, want %v", c.v, c.op, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestTestInt64NonBlocking(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		flag := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			if pe.TestInt64(p, flag, CmpNE, 0) {
+				t.Error("fresh flag tested nonzero")
+			}
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			PutScalar[int64](p, pe, 1, flag, 3)
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			if !pe.TestInt64(p, flag, CmpEQ, 3) {
+				t.Error("flag not visible after barrier")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitUntilAny(t *testing.T) {
+	w := newWorld(3, Options{})
+	var hit int
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		flags := pe.MustMalloc(p, 4*8)
+		pe.BarrierAll(p)
+		if pe.ID() == 2 {
+			p.Sleep(500 * sim.Microsecond)
+			PutScalar[int64](p, pe, 0, flags+2*8, 9)
+		}
+		if pe.ID() == 0 {
+			addrs := []SymAddr{flags, flags + 8, flags + 16, flags + 24}
+			hit = pe.WaitUntilAnyInt64(p, addrs, CmpEQ, 9)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != 2 {
+		t.Fatalf("WaitUntilAny returned index %d, want 2", hit)
+	}
+}
+
+func TestWaitUntilAnyEmpty(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		if pe.WaitUntilAnyInt64(p, nil, CmpEQ, 1) != -1 {
+			t.Error("empty WaitUntilAny should return -1")
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitUntilAll(t *testing.T) {
+	w := newWorld(4, Options{})
+	var released sim.Time
+	var lastSet sim.Time
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		flags := pe.MustMalloc(p, 4*8)
+		pe.BarrierAll(p)
+		if pe.ID() != 0 {
+			p.Sleep(sim.Duration(pe.ID()) * 300 * sim.Microsecond)
+			PutScalar[int64](p, pe, 0, flags+SymAddr(pe.ID()*8), 1)
+			if t := p.Now(); t > lastSet {
+				lastSet = t
+			}
+		} else {
+			addrs := []SymAddr{flags + 8, flags + 16, flags + 24}
+			pe.WaitUntilAllInt64(p, addrs, CmpEQ, 1)
+			released = p.Now()
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released < lastSet {
+		t.Fatalf("WaitUntilAll released at %v before last flag set at %v", released, lastSet)
+	}
+}
+
+func TestWaitUntilSome(t *testing.T) {
+	w := newWorld(3, Options{})
+	var hits []int
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		flags := pe.MustMalloc(p, 3*8)
+		pe.BarrierAll(p)
+		if pe.ID() == 1 {
+			// Set two flags back to back; the waiter may see one or both.
+			PutScalar[int64](p, pe, 0, flags, 5)
+			PutScalar[int64](p, pe, 0, flags+16, 5)
+		}
+		if pe.ID() == 0 {
+			addrs := []SymAddr{flags, flags + 8, flags + 16}
+			hits = pe.WaitUntilSomeInt64(p, addrs, CmpEQ, 5)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("WaitUntilSome returned nothing")
+	}
+	for _, h := range hits {
+		if h != 0 && h != 2 {
+			t.Fatalf("unexpected hit index %d", h)
+		}
+	}
+}
+
+func TestFloatAtomics(t *testing.T) {
+	w := newWorld(2, Options{})
+	err := w.Run(func(p *sim.Proc, pe *PE) {
+		f64 := pe.MustMalloc(p, 8)
+		f32 := pe.MustMalloc(p, 4)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.SetFloat64(p, 1, f64, math.Pi)
+			if got := pe.FetchFloat64(p, 1, f64); got != math.Pi {
+				t.Errorf("FetchFloat64 = %v", got)
+			}
+			if old := pe.SwapFloat64(p, 1, f64, -1.5); old != math.Pi {
+				t.Errorf("SwapFloat64 old = %v", old)
+			}
+			if got := pe.FetchFloat64(p, 1, f64); got != -1.5 {
+				t.Errorf("after swap = %v", got)
+			}
+			pe.SetFloat32(p, 1, f32, 2.25)
+			if got := pe.FetchFloat32(p, 1, f32); got != 2.25 {
+				t.Errorf("FetchFloat32 = %v", got)
+			}
+			if old := pe.SwapFloat32(p, 1, f32, -8); old != 2.25 {
+				t.Errorf("SwapFloat32 old = %v", old)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

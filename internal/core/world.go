@@ -1,0 +1,473 @@
+// Package core implements the paper's contribution: an OpenSHMEM runtime
+// over the switchless PCIe NTB ring.
+//
+// One PE (processing element) runs per host, as in the paper's testbed.
+// The runtime follows §III of the paper:
+//
+//   - shmem_init: boot-time Id/address exchange over scratchpads, doorbell
+//     vector setup, bypass-buffer plumbing, and creation of the per-host
+//     service thread (Fig 5) that handles DMAPUT/DMAGET interrupts;
+//   - a symmetric heap with same-offset-on-every-PE semantics (Fig 3);
+//   - Put/Get over the NTB windows in DMA or memcpy mode, with neighbour
+//     fast path and bypass-buffer forwarding for multi-hop transfers
+//     (Fig 4), put data routed rightward around the ring and get replies
+//     returning leftward;
+//   - the two-round ring start/end barrier of Fig 6, plus centralised and
+//     dissemination barrier algorithms for the ablation study;
+//   - the OpenSHMEM extensions the paper lists as essential: collectives,
+//     remote atomics, distributed locks, and point-to-point sync.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/ntb"
+	"repro/internal/sim"
+)
+
+// SymAddr is a symmetric-heap address: the same value designates the same
+// object on every PE (Fig 3(b) of the paper).
+type SymAddr int64
+
+// BarrierAlgo selects the barrier implementation.
+type BarrierAlgo int
+
+const (
+	// BarrierRing is the paper's algorithm (Fig 6): host 0 circulates a
+	// BARRIER_START doorbell round and then a BARRIER_END round.
+	BarrierRing BarrierAlgo = iota
+	// BarrierCentral gathers arrival tokens at host 0 and fans out
+	// releases, the textbook centralised barrier the paper rejects.
+	BarrierCentral
+	// BarrierDissemination runs ceil(log2 N) pairwise rounds.
+	BarrierDissemination
+)
+
+func (b BarrierAlgo) String() string {
+	switch b {
+	case BarrierCentral:
+		return "central"
+	case BarrierDissemination:
+		return "dissemination"
+	default:
+		return "ring"
+	}
+}
+
+// Routing selects how data is steered around the ring.
+type Routing int
+
+const (
+	// RouteRightward is the paper's policy: all data travels toward
+	// increasing host Ids, which is how the 3-host testbed exhibits
+	// 2-hop transfers. Get replies return leftward along the request's
+	// path in either policy.
+	RouteRightward Routing = iota
+	// RouteShortest sends each message around the shorter arc of the
+	// ring (ties go rightward). It halves the average data hop count
+	// but doubles barrier cost: with traffic in both directions the
+	// ring barrier must circulate its start/end tokens both ways to
+	// keep the delivery-flush guarantee.
+	RouteShortest
+)
+
+func (r Routing) String() string {
+	if r == RouteShortest {
+		return "shortest"
+	}
+	return "rightward"
+}
+
+// Options configure a World.
+type Options struct {
+	// Mode is the data-movement mechanism for puts, gets and forwarding:
+	// driver.ModeDMA (default) or driver.ModeCPU (the paper's memcpy).
+	Mode driver.Mode
+	// Barrier selects the barrier algorithm; the default is the paper's
+	// ring start/end protocol.
+	Barrier BarrierAlgo
+	// Routing selects the data steering policy; the default is the
+	// paper's fixed rightward routing.
+	Routing Routing
+	// Pipeline selects the link protocol: 0 or 1 is the paper's
+	// stop-and-wait scratchpad protocol; n >= 2 enables the pipelined
+	// header-in-window protocol with n slots per link direction (the
+	// paper's future-work latency reduction, ablation A6).
+	Pipeline int
+}
+
+// Stats counts a PE's runtime activity.
+type Stats struct {
+	Puts, Gets      uint64 // API calls
+	PutBytes        uint64
+	GetBytes        uint64
+	ChunksSent      uint64 // first-hop chunks pushed by this PE
+	ChunksForwarded uint64 // transit chunks relayed by the service path
+	AMOs            uint64
+	Barriers        uint64
+	Interrupts      uint64
+}
+
+// OpEvent describes one completed application-level operation, for the
+// optional operation trace.
+type OpEvent struct {
+	PE     int
+	Op     string // "put", "get", "amo", "barrier"
+	Target int    // destination PE (-1 for collectives)
+	Bytes  int
+	Start  sim.Time
+	Dur    sim.Duration
+}
+
+// World is one OpenSHMEM job running on a ring cluster.
+type World struct {
+	Cluster *fabric.Cluster
+	par     *model.Params
+	opts    Options
+	pes     []*PE
+	opTrace func(OpEvent)
+}
+
+// SetOpTrace installs a hook receiving one event per completed
+// application-level operation (puts, gets, atomics, barriers). The hook
+// runs inline on the virtual timeline and must not block. Install before
+// Run; nil detaches.
+func (w *World) SetOpTrace(fn func(OpEvent)) { w.opTrace = fn }
+
+// emitOp reports a completed operation to the trace hook.
+func (pe *PE) emitOp(p *sim.Proc, op string, target, bytes int, start sim.Time) {
+	if fn := pe.world.opTrace; fn != nil {
+		fn(OpEvent{
+			PE: pe.id, Op: op, Target: target, Bytes: bytes,
+			Start: start, Dur: p.Now().Sub(start),
+		})
+	}
+}
+
+// PE is a processing element: the application-visible handle for one
+// host's OpenSHMEM runtime state.
+type PE struct {
+	id    int
+	world *World
+	host  *fabric.Host
+	par   *model.Params
+	mode  driver.Mode
+
+	heap      *mem.Heap
+	finalized bool
+
+	// Service path (Fig 5).
+	svcQ      *sim.Queue[*ntb.Port]
+	svcActive bool
+	svcIdle   *sim.Cond
+	fwdQ      *sim.Queue[*fwdMsg]
+	fwdBusy   int
+	fwdIdle   *sim.Cond
+	bufPool   [][]byte
+
+	// Link senders: the paper's stop-and-wait TxChannels or pipelined
+	// PipeTx, per Options.Pipeline; rx state exists only when pipelined.
+	txLeftS, txRightS driver.Sender
+	rxByPort          map[*ntb.Port]*driver.PipeRx
+
+	// Ring barrier tokens (Fig 6): one queue pair per travel direction
+	// (rightward tokens arrive on the left port and vice versa).
+	startQ, endQ   *sim.Queue[struct{}]
+	startQL, endQL *sim.Queue[struct{}]
+	barrierEpoch   uint32
+
+	// Control tokens for the alternative barrier algorithms.
+	ctl     map[uint32]int
+	ctlCond *sim.Cond
+
+	// Pending get/AMO requests by tag.
+	pending map[uint32]*pendingReq
+	nextTag uint32
+
+	// Per-pSync-word monotone sequence numbers for the active-set
+	// collectives (lazily created).
+	pSyncCounts map[SymAddr]int64
+
+	// Two-sided messaging match table (carved from the symmetric heap
+	// during shmem_init).
+	matchTable      SymAddr
+	matchTableReady bool
+
+	// Live communication contexts (shmem_ctx_*).
+	contexts  []*Ctx
+	nextCtxID int
+
+	// Non-blocking operation tracking for Quiet.
+	outstanding int
+	quietCond   *sim.Cond
+
+	// Signalled whenever remote traffic writes this PE's heap.
+	heapWrite *sim.Cond
+
+	stats Stats
+}
+
+// fwdMsg is a staged chunk awaiting relay by the forwarder thread.
+type fwdMsg struct {
+	info driver.Info
+	data []byte
+}
+
+// pendingReq tracks one in-flight get or AMO issued by this PE.
+type pendingReq struct {
+	buf     []byte // get destination
+	arrived int    // bytes landed so far
+	value   uint64 // AMO reply payload
+	replied bool
+	cond    *sim.Cond
+}
+
+// NewWorld builds an OpenSHMEM job over the given ring cluster. Interrupt
+// handlers and service threads are installed immediately (before virtual
+// time starts), mirroring a driver that loads before the application.
+func NewWorld(c *fabric.Cluster, opts Options) *World {
+	if !c.Ring() {
+		panic("core: OpenSHMEM world requires a ring cluster")
+	}
+	if opts.Routing == RouteShortest && opts.Barrier != BarrierRing {
+		// Only the ring barrier's per-hop flush has a bidirectional
+		// variant; the token-counting algorithms would lose the
+		// delivery guarantee under two-direction traffic.
+		panic("core: RouteShortest requires the ring barrier")
+	}
+	if opts.Pipeline >= 2 {
+		slotPayload := c.Par.WindowSize/opts.Pipeline - driver.SlotHeaderBytes
+		maxChunk := c.Par.PutChunk
+		if c.Par.GetChunk > maxChunk {
+			maxChunk = c.Par.GetChunk
+		}
+		if c.Par.BypassChunk > maxChunk {
+			maxChunk = c.Par.BypassChunk
+		}
+		if maxChunk > slotPayload {
+			panic(fmt.Sprintf("core: pipeline depth %d leaves %d-byte slot payloads, below the largest protocol chunk %d",
+				opts.Pipeline, slotPayload, maxChunk))
+		}
+	}
+	w := &World{Cluster: c, par: c.Par, opts: opts}
+	for _, h := range c.Hosts {
+		pe := &PE{
+			id:        h.ID,
+			world:     w,
+			host:      h,
+			par:       c.Par,
+			mode:      opts.Mode,
+			heap:      mem.NewHeap(c.Par.SymHeapChunk, c.Par.SymHeapMax),
+			svcQ:      sim.NewQueue[*ntb.Port](fmt.Sprintf("svc:%d", h.ID)),
+			svcIdle:   sim.NewCond(fmt.Sprintf("svc-idle:%d", h.ID)),
+			fwdQ:      sim.NewQueue[*fwdMsg](fmt.Sprintf("fwd:%d", h.ID)),
+			fwdIdle:   sim.NewCond(fmt.Sprintf("fwd-idle:%d", h.ID)),
+			startQ:    sim.NewQueue[struct{}](fmt.Sprintf("barrier-start:%d", h.ID)),
+			endQ:      sim.NewQueue[struct{}](fmt.Sprintf("barrier-end:%d", h.ID)),
+			startQL:   sim.NewQueue[struct{}](fmt.Sprintf("barrier-start-left:%d", h.ID)),
+			endQL:     sim.NewQueue[struct{}](fmt.Sprintf("barrier-end-left:%d", h.ID)),
+			ctl:       make(map[uint32]int),
+			ctlCond:   sim.NewCond(fmt.Sprintf("ctl:%d", h.ID)),
+			pending:   make(map[uint32]*pendingReq),
+			quietCond: sim.NewCond(fmt.Sprintf("quiet:%d", h.ID)),
+			heapWrite: sim.NewCond(fmt.Sprintf("heap-write:%d", h.ID)),
+		}
+		w.pes = append(w.pes, pe)
+		pe.install()
+	}
+	return w
+}
+
+// install wires doorbell vectors and spawns the service and forwarder
+// threads for this PE (the paper's shmem_init steps 2 and 4).
+func (pe *PE) install() {
+	s := pe.world.Cluster.Sim
+	// Pick the link protocol. NewPipeTx re-registers the ACK vector that
+	// the fabric-built stop-and-wait channels claimed, retiring them.
+	if depth := pe.world.opts.Pipeline; depth >= 2 {
+		pe.rxByPort = make(map[*ntb.Port]*driver.PipeRx)
+		pe.txLeftS = driver.NewPipeTx(pe.host.LeftEP, pe.par, depth)
+		pe.txRightS = driver.NewPipeTx(pe.host.RightEP, pe.par, depth)
+		pe.rxByPort[pe.host.Left] = driver.NewPipeRx(pe.host.Left, pe.par, depth)
+		pe.rxByPort[pe.host.Right] = driver.NewPipeRx(pe.host.Right, pe.par, depth)
+	} else {
+		pe.txLeftS = pe.host.TxLeft
+		pe.txRightS = pe.host.TxRight
+	}
+	dataVec := func(port *ntb.Port) func() {
+		return func() {
+			pe.stats.Interrupts++
+			pe.svcQ.Push(port)
+		}
+	}
+	for _, ep := range []*driver.Endpoint{pe.host.LeftEP, pe.host.RightEP} {
+		if ep == nil {
+			continue
+		}
+		ep.Handle(driver.VecPut, dataVec(ep.Port))
+		ep.Handle(driver.VecGet, dataVec(ep.Port))
+	}
+	// Rightward-travelling barrier tokens arrive on the left-side
+	// adapter (host 0's left adapter faces host N-1); leftward tokens —
+	// used by the bidirectional flush under shortest-path routing —
+	// arrive on the right-side adapter.
+	pe.host.LeftEP.Handle(driver.VecBarrierStart, func() {
+		pe.stats.Interrupts++
+		pe.startQ.Push(struct{}{})
+	})
+	pe.host.LeftEP.Handle(driver.VecBarrierEnd, func() {
+		pe.stats.Interrupts++
+		pe.endQ.Push(struct{}{})
+	})
+	pe.host.RightEP.Handle(driver.VecBarrierStart, func() {
+		pe.stats.Interrupts++
+		pe.startQL.Push(struct{}{})
+	})
+	pe.host.RightEP.Handle(driver.VecBarrierEnd, func() {
+		pe.stats.Interrupts++
+		pe.endQL.Push(struct{}{})
+	})
+	s.GoDaemon(fmt.Sprintf("shmem-svc:%d", pe.id), pe.serve)
+	s.GoDaemon(fmt.Sprintf("shmem-fwd:%d", pe.id), pe.forward)
+}
+
+// Launch spawns one application process per PE running body. Call
+// Cluster.Sim.Run (or World.Run) afterwards to execute.
+func (w *World) Launch(body func(p *sim.Proc, pe *PE)) {
+	for _, pe := range w.pes {
+		pe := pe
+		w.Cluster.Sim.Go(fmt.Sprintf("pe:%d", pe.id), func(p *sim.Proc) {
+			pe.initPE(p)
+			body(p, pe)
+		})
+	}
+}
+
+// Run launches body on every PE and drives the simulation to completion.
+func (w *World) Run(body func(p *sim.Proc, pe *PE)) error {
+	w.Launch(body)
+	err := w.Cluster.Sim.Run()
+	// Shut the simulator down so the world's daemon goroutines (service
+	// threads, forwarders, DMA engines) release their references;
+	// harnesses that build many worlds per process rely on this. Use
+	// Launch plus Cluster.Sim.Run directly to keep a world alive.
+	w.Cluster.Sim.Shutdown()
+	return err
+}
+
+// PEs returns the world's processing elements in Id order.
+func (w *World) PEs() []*PE { return w.pes }
+
+// StatsReport renders every PE's activity counters as an aligned table,
+// for post-run inspection by tools and tests.
+func (w *World) StatsReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %8s %10s %8s %10s %8s %8s %6s %9s %10s\n",
+		"pe", "puts", "put-bytes", "gets", "get-bytes", "chunks", "fwd", "amos", "barriers", "interrupts")
+	for _, pe := range w.pes {
+		s := pe.stats
+		fmt.Fprintf(&b, "%-4d %8d %10d %8d %10d %8d %8d %6d %9d %10d\n",
+			pe.id, s.Puts, s.PutBytes, s.Gets, s.GetBytes,
+			s.ChunksSent, s.ChunksForwarded, s.AMOs, s.Barriers, s.Interrupts)
+	}
+	return b.String()
+}
+
+// initPE is shmem_init: the boot exchange plus a barrier so no PE
+// proceeds before every runtime is reachable.
+func (pe *PE) initPE(p *sim.Proc) {
+	left, right := pe.host.Boot(p)
+	if left != pe.host.LeftNeighbor() || right != pe.host.RightNeighbor() {
+		panic(fmt.Sprintf("core: pe %d discovered neighbours (%d, %d), topology says (%d, %d)",
+			pe.id, left, right, pe.host.LeftNeighbor(), pe.host.RightNeighbor()))
+	}
+	pe.initMatchTable(p)
+	pe.BarrierAll(p)
+}
+
+// ID returns this PE's number (my_pe in Table I).
+func (pe *PE) ID() int { return pe.id }
+
+// NumPEs returns the job size (num_pes in Table I).
+func (pe *PE) NumPEs() int { return pe.world.Cluster.N() }
+
+// Mode returns the PE's data-movement mode.
+func (pe *PE) Mode() driver.Mode { return pe.mode }
+
+// Stats returns a copy of the PE's activity counters.
+func (pe *PE) Stats() Stats { return pe.stats }
+
+// GlobalExitError reports that a PE terminated the whole job with
+// shmem_global_exit.
+type GlobalExitError struct {
+	PE   int
+	Code int
+}
+
+func (e *GlobalExitError) Error() string {
+	return fmt.Sprintf("core: pe %d called global_exit(%d)", e.PE, e.Code)
+}
+
+// GlobalExit is shmem_global_exit: it terminates the entire job
+// immediately with the given status. The enclosing World.Run returns a
+// *GlobalExitError (wrapped by the simulator); no synchronisation with
+// other PEs happens.
+func (pe *PE) GlobalExit(p *sim.Proc, code int) {
+	pe.checkLive()
+	panic(&GlobalExitError{PE: pe.id, Code: code})
+}
+
+// Finalize is shmem_finalize: it drains outstanding work, synchronises,
+// and releases the symmetric heap. The PE must not be used afterwards.
+func (pe *PE) Finalize(p *sim.Proc) {
+	pe.quietAllContexts(p)
+	pe.Quiet(p)
+	pe.BarrierAll(p)
+	pe.finalized = true
+}
+
+func (pe *PE) checkLive() {
+	if pe.finalized {
+		panic(fmt.Sprintf("core: pe %d used after Finalize", pe.id))
+	}
+}
+
+func (pe *PE) checkPeer(target int) {
+	if target < 0 || target >= pe.NumPEs() {
+		panic(fmt.Sprintf("core: pe %d addressed nonexistent PE %d", pe.id, target))
+	}
+}
+
+// getBuf returns a staging buffer of at least n bytes from the pool.
+func (pe *PE) getBuf(n int) []byte {
+	if last := len(pe.bufPool) - 1; last >= 0 {
+		b := pe.bufPool[last]
+		pe.bufPool = pe.bufPool[:last]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	if n < pe.par.BypassChunk {
+		return make([]byte, n, pe.par.BypassChunk)
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a staging buffer to the pool.
+func (pe *PE) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	pe.bufPool = append(pe.bufPool, b[:0])
+}
+
+// newTag mints a fresh request tag.
+func (pe *PE) newTag() uint32 {
+	pe.nextTag++
+	return pe.nextTag
+}

@@ -1,0 +1,307 @@
+// Package driver is the software layer between the NTB device model and
+// the OpenSHMEM runtime, mirroring the role of the Linux PEX 8x NTB
+// device driver in the paper's stack.
+//
+// It provides three things:
+//
+//   - Endpoint: per-port doorbell vector demultiplexing (the interrupt
+//     handler that routes each doorbell bit to a registered callback);
+//   - Info: the transfer-information record the paper exchanges through
+//     the eight 32-bit ScratchPad registers (source and destination host
+//     Ids, symmetric-heap offset, size, send/receive kind);
+//   - TxChannel: a one-direction, stop-and-wait bulk sender that moves one
+//     chunk into the peer's inbound window (by DMA or programmed I/O),
+//     publishes the Info record, rings the matching doorbell vector, and
+//     waits for the receiver's ACK doorbell before reusing the window and
+//     scratchpads.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/ntb"
+	"repro/internal/sim"
+)
+
+// Doorbell vector assignments. The first four are the paper's
+// (§III-B.1); VecAck is the flow-control return signal that releases the
+// sender's window and scratchpads for the next chunk.
+const (
+	VecPut          = 0 // DOORBELL_DMAPUT: a put (or forwarded) chunk landed
+	VecGet          = 1 // DOORBELL_DMAGET: a get request or get data chunk landed
+	VecBarrierStart = 2 // DOORBELL_BARRIER_START
+	VecBarrierEnd   = 3 // DOORBELL_BARRIER_END
+	VecAck          = 4 // chunk consumed; window and spads are free
+	numVecs         = 5
+)
+
+// Kind tags an Info record with the message type it describes.
+type Kind uint8
+
+const (
+	// KindPut is a put data chunk to be delivered into the destination
+	// PE's symmetric heap.
+	KindPut Kind = iota + 1
+	// KindGetReq asks the owner PE to send one chunk of symmetric data
+	// back to the requester.
+	KindGetReq
+	// KindGetData is one chunk of get reply data, addressed to the
+	// requester's pending get identified by Tag.
+	KindGetData
+	// KindAMO asks the owner PE to perform an atomic memory operation on
+	// its symmetric heap (our scratchpad-only extension; no window data).
+	KindAMO
+	// KindAMOReply returns the fetched value of an AMO to the requester.
+	KindAMOReply
+	// KindBarrierCtl carries a round-tagged synchronisation token for the
+	// alternative (centralised / dissemination) barrier algorithms.
+	KindBarrierCtl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindGetReq:
+		return "get-req"
+	case KindGetData:
+		return "get-data"
+	case KindAMO:
+		return "amo"
+	case KindAMOReply:
+		return "amo-reply"
+	case KindBarrierCtl:
+		return "barrier-ctl"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// vector returns the doorbell vector a message kind is announced on.
+// Get requests and replies travel on the DMAGET vector, everything else
+// on DMAPUT, matching the paper's two data interrupt sources.
+func (k Kind) vector() int {
+	if k == KindGetReq || k == KindGetData {
+		return VecGet
+	}
+	return VecPut
+}
+
+// Dir is the ring direction a message travels in. The paper routes all
+// data rightward (toward increasing host Ids); get replies travel back
+// leftward along the request's path.
+type Dir uint8
+
+const (
+	// DirRight moves toward increasing host Ids.
+	DirRight Dir = iota
+	// DirLeft moves toward decreasing host Ids.
+	DirLeft
+)
+
+func (d Dir) String() string {
+	if d == DirLeft {
+		return "left"
+	}
+	return "right"
+}
+
+// Info is the transfer-information record exchanged through scratchpads.
+// It packs into seven 32-bit registers; the eighth is reserved for the
+// boot-time host-Id/BAR exchange.
+type Info struct {
+	Kind   Kind
+	Src    uint8      // host Id of the original source PE
+	Dst    uint8      // host Id of the final destination PE
+	Region ntb.Region // inbound window the chunk landed in
+	Dir    Dir        // ring direction the message is travelling
+	Size   uint32     // payload bytes in the window; for KindGetReq, the requested bytes
+	SymOff uint64     // symmetric-heap offset (put target / get source)
+	Tag    uint32     // request identity for get/AMO replies
+	Aux    uint64     // chunk offset within the request, or AMO operand
+}
+
+// spad indices used by the Info codec and boot exchange.
+const (
+	spadHeader = 0
+	spadSize   = 1
+	spadOffLo  = 2
+	spadOffHi  = 3
+	spadTag    = 4
+	spadAuxLo  = 5
+	spadAuxHi  = 6
+	// SpadBoot is reserved for the fabric boot handshake.
+	SpadBoot = 7
+)
+
+// writeTo publishes the record into the peer's scratchpads (seven posted
+// MMIO writes across the link).
+func (in *Info) writeTo(p *sim.Proc, port *ntb.Port) {
+	header := uint32(in.Kind) | uint32(in.Src)<<8 | uint32(in.Dst)<<16 |
+		uint32(in.Region)<<24 | uint32(in.Dir)<<28
+	port.PeerSpadWrite(p, spadHeader, header)
+	port.PeerSpadWrite(p, spadSize, in.Size)
+	port.PeerSpadWrite(p, spadOffLo, uint32(in.SymOff))
+	port.PeerSpadWrite(p, spadOffHi, uint32(in.SymOff>>32))
+	port.PeerSpadWrite(p, spadTag, in.Tag)
+	port.PeerSpadWrite(p, spadAuxLo, uint32(in.Aux))
+	port.PeerSpadWrite(p, spadAuxHi, uint32(in.Aux>>32))
+}
+
+// ReadInfo decodes the record from the local scratchpads (seven local
+// register reads).
+func ReadInfo(p *sim.Proc, port *ntb.Port) Info {
+	header := port.SpadRead(p, spadHeader)
+	return Info{
+		Kind:   Kind(header & 0xFF),
+		Src:    uint8(header >> 8),
+		Dst:    uint8(header >> 16),
+		Region: ntb.Region(header >> 24 & 0xF),
+		Dir:    Dir(header >> 28),
+		Size:   port.SpadRead(p, spadSize),
+		SymOff: uint64(port.SpadRead(p, spadOffLo)) | uint64(port.SpadRead(p, spadOffHi))<<32,
+		Tag:    port.SpadRead(p, spadTag),
+		Aux:    uint64(port.SpadRead(p, spadAuxLo)) | uint64(port.SpadRead(p, spadAuxHi))<<32,
+	}
+}
+
+// Endpoint wraps one port with doorbell-vector dispatch. Handlers run in
+// interrupt (scheduler) context and must not block; they typically push
+// work onto a service thread's queue.
+type Endpoint struct {
+	Port     *ntb.Port
+	handlers [16]func()
+}
+
+// NewEndpoint installs the demultiplexing ISR on port.
+func NewEndpoint(port *ntb.Port) *Endpoint {
+	e := &Endpoint{Port: port}
+	port.SetISR(func(bits uint16) {
+		port.ClearInISR(bits)
+		for v := 0; v < 16; v++ {
+			if bits&(1<<v) != 0 && e.handlers[v] != nil {
+				e.handlers[v]()
+			}
+		}
+	})
+	return e
+}
+
+// Handle registers fn for doorbell vector vec.
+func (e *Endpoint) Handle(vec int, fn func()) {
+	if vec < 0 || vec >= 16 {
+		panic(fmt.Sprintf("driver: bad vector %d", vec))
+	}
+	e.handlers[vec] = fn
+}
+
+// Ring rings a doorbell vector on the peer host.
+func (e *Endpoint) Ring(p *sim.Proc, vec int) {
+	e.Port.PeerDBSet(p, 1<<vec)
+}
+
+// Mode selects the data-movement mechanism for a chunk, the axis of the
+// paper's DMA-vs-memcpy comparison.
+type Mode uint8
+
+const (
+	// ModeDMA moves chunks with the adapter's DMA engine.
+	ModeDMA Mode = iota
+	// ModeCPU moves chunks with programmed I/O (the paper's "memcpy").
+	ModeCPU
+)
+
+func (m Mode) String() string {
+	if m == ModeCPU {
+		return "memcpy"
+	}
+	return "DMA"
+}
+
+// Payload is a chunk source: either an in-memory buffer or a symmetric
+// heap range.
+type Payload struct {
+	Buf     []byte
+	Heap    *mem.Heap
+	HeapOff int64
+	N       int
+}
+
+// TxChannel serialises one direction of one link. Because a chunk
+// occupies the peer's inbound window and the scratchpad bank until the
+// receiver ACKs, concurrent senders (the application and the forwarding
+// service thread) must take strict turns; the channel provides that.
+type TxChannel struct {
+	ep      *Endpoint
+	par     *model.Params
+	mu      *sim.Mutex
+	acks    *sim.Queue[struct{}]
+	scratch []byte
+	sends   uint64
+}
+
+// NewTxChannel builds the sender side for ep and hooks its ACK vector.
+func NewTxChannel(ep *Endpoint, par *model.Params) *TxChannel {
+	tx := &TxChannel{
+		ep:      ep,
+		par:     par,
+		mu:      sim.NewMutex("tx:" + ep.Port.Name()),
+		acks:    sim.NewQueue[struct{}]("ack:" + ep.Port.Name()),
+		scratch: make([]byte, par.WindowSize),
+	}
+	ep.Handle(VecAck, func() { tx.acks.Push(struct{}{}) })
+	return tx
+}
+
+// Sends reports how many chunks the channel has pushed (for tests and
+// the trace).
+func (tx *TxChannel) Sends() uint64 { return tx.sends }
+
+// SendChunk moves one chunk (payload may be empty for pure-register
+// messages) into the peer window named by info.Region, publishes info,
+// rings the kind's vector, and waits for the ACK. It blocks the caller
+// for the full stop-and-wait cycle.
+func (tx *TxChannel) SendChunk(p *sim.Proc, info Info, payload Payload, mode Mode) {
+	if payload.N > tx.par.WindowSize {
+		panic(fmt.Sprintf("driver: chunk %d exceeds window %d", payload.N, tx.par.WindowSize))
+	}
+	if payload.N > 0 && int(info.Size) != payload.N {
+		panic("driver: info.Size disagrees with payload")
+	}
+	tx.mu.Lock(p)
+	if payload.N > 0 {
+		switch mode {
+		case ModeDMA:
+			d := ntb.Desc{Region: info.Region, Off: 0, Bytes: payload.N}
+			if payload.Heap != nil {
+				d.SrcHeap, d.SrcOff = payload.Heap, payload.HeapOff
+			} else {
+				d.Src = payload.Buf
+			}
+			tx.ep.Port.DMA().Submit(p, d).Wait(p)
+		case ModeCPU:
+			src := payload.Buf
+			if payload.Heap != nil {
+				src = tx.scratch[:payload.N]
+				payload.Heap.Read(payload.HeapOff, src)
+			}
+			tx.ep.Port.CPUWrite(p, info.Region, 0, src[:payload.N])
+		default:
+			panic("driver: unknown mode")
+		}
+	}
+	info.writeTo(p, tx.ep.Port)
+	tx.ep.Ring(p, info.Kind.vector())
+	tx.acks.Pop(p)
+	tx.sends++
+	tx.mu.Unlock()
+}
+
+// Ack releases the sender's window and scratchpads after the receiver has
+// consumed a chunk. Called by the receiving host's service thread on the
+// port the chunk arrived on.
+func Ack(p *sim.Proc, port *ntb.Port) {
+	port.PeerDBSet(p, 1<<VecAck)
+}

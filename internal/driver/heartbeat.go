@@ -1,0 +1,89 @@
+package driver
+
+import (
+	"repro/internal/sim"
+)
+
+// VecHeartbeat is the doorbell vector carrying liveness beats. The paper
+// notes that NTB's historical role was "mainly to check connected host
+// processors such as with heartbeating"; this implements that service on
+// the same doorbell machinery the OpenSHMEM runtime uses.
+const VecHeartbeat = 5
+
+// Heartbeat watches one NTB link from one side: it rings the peer's
+// heartbeat doorbell every interval and, independently, checks that the
+// peer's beats keep arriving. After missLimit silent intervals it
+// declares the link dead and fires the callback once.
+type Heartbeat struct {
+	ep        *Endpoint
+	interval  sim.Duration
+	missLimit int
+
+	beats   uint64 // beats received from the peer
+	lastObs uint64
+	misses  int
+	alive   bool
+	stopped bool
+	onDown  func()
+}
+
+// StartHeartbeat installs the beat handler on ep and spawns the sender
+// and monitor daemons. onDown runs (once, in process context) when the
+// peer goes silent for missLimit consecutive intervals.
+func StartHeartbeat(s *sim.Simulator, ep *Endpoint, interval sim.Duration, missLimit int, onDown func()) *Heartbeat {
+	if interval <= 0 || missLimit <= 0 {
+		panic("driver: heartbeat needs positive interval and miss limit")
+	}
+	hb := &Heartbeat{
+		ep:        ep,
+		interval:  interval,
+		missLimit: missLimit,
+		alive:     true,
+		onDown:    onDown,
+	}
+	ep.Handle(VecHeartbeat, func() { hb.beats++ })
+	s.GoDaemon("hb-send:"+ep.Port.Name(), hb.send)
+	s.GoDaemon("hb-monitor:"+ep.Port.Name(), hb.monitor)
+	return hb
+}
+
+// Alive reports whether the peer was responsive at the last check.
+func (hb *Heartbeat) Alive() bool { return hb.alive }
+
+// Beats reports how many beats have arrived from the peer.
+func (hb *Heartbeat) Beats() uint64 { return hb.beats }
+
+// Stop retires both daemons after their current sleep; the simulation's
+// event queue then drains normally. A heartbeat left running keeps the
+// virtual clock alive forever, so bounded runs must either Stop it or
+// use RunUntil.
+func (hb *Heartbeat) Stop() { hb.stopped = true }
+
+func (hb *Heartbeat) send(p *sim.Proc) {
+	for !hb.stopped {
+		hb.ep.Ring(p, VecHeartbeat)
+		p.Sleep(hb.interval)
+	}
+}
+
+func (hb *Heartbeat) monitor(p *sim.Proc) {
+	// Offset the first check by half an interval so a beat sent at the
+	// same instant as the check is never misclassified.
+	p.Sleep(hb.interval + hb.interval/2)
+	for !hb.stopped {
+		if hb.beats == hb.lastObs {
+			hb.misses++
+			if hb.misses >= hb.missLimit && hb.alive {
+				hb.alive = false
+				if hb.onDown != nil {
+					hb.onDown()
+				}
+			}
+		} else {
+			hb.misses = 0
+			hb.alive = true
+		}
+		hb.lastObs = hb.beats
+		p.Sleep(hb.interval)
+	}
+}

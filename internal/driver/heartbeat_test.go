@@ -1,0 +1,73 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHeartbeatStaysAliveOnHealthyLink(t *testing.T) {
+	r := newRig(t)
+	interval := 100 * sim.Microsecond
+	hbA := StartHeartbeat(r.sim, r.epA, interval, 3, nil)
+	hbB := StartHeartbeat(r.sim, r.epB, interval, 3, nil)
+	if err := r.sim.RunUntil(sim.Time(5 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !hbA.Alive() || !hbB.Alive() {
+		t.Fatal("healthy link declared dead")
+	}
+	if hbA.Beats() < 40 || hbB.Beats() < 40 {
+		t.Fatalf("too few beats: A=%d B=%d", hbA.Beats(), hbB.Beats())
+	}
+	hbA.Stop()
+	hbB.Stop()
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatDetectsUnplug(t *testing.T) {
+	r := newRig(t)
+	interval := 100 * sim.Microsecond
+	var downAt sim.Time
+	fired := 0
+	hb := StartHeartbeat(r.sim, r.epA, interval, 3, func() {
+		fired++
+		downAt = r.sim.Now()
+	})
+	// Peer side answers with its own beats until the cable dies.
+	StartHeartbeat(r.sim, r.epB, interval, 3, nil)
+	cutAt := sim.Time(2 * sim.Millisecond)
+	r.sim.After(sim.Duration(cutAt), func() { r.a.Unplug() })
+	if err := r.sim.RunUntil(sim.Time(10 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Alive() {
+		t.Fatal("unplugged link still reported alive")
+	}
+	if fired != 1 {
+		t.Fatalf("failure callback fired %d times", fired)
+	}
+	// Detection within missLimit+2 intervals of the cut.
+	if lag := downAt - cutAt; lag <= 0 || lag > sim.Time(5*interval) {
+		t.Fatalf("detected at %v, cut at %v (lag %v)", downAt, cutAt, downAt-cutAt)
+	}
+}
+
+func TestHeartbeatBadArgsPanic(t *testing.T) {
+	r := newRig(t)
+	for _, f := range []func(){
+		func() { StartHeartbeat(r.sim, r.epA, 0, 3, nil) },
+		func() { StartHeartbeat(r.sim, r.epA, sim.Microsecond, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad heartbeat args accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

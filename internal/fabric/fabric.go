@@ -1,0 +1,178 @@
+// Package fabric assembles simulated hosts into the paper's switchless
+// interconnect topologies: the N-host ring (each host carries two NTB
+// adapters, cabled to its neighbours) and the two-host independent pair
+// used as the Fig 8 baseline.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/model"
+	"repro/internal/ntb"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// Host is one computing node: a root complex, up to two NTB adapters
+// (left cables toward hostID-1, right toward hostID+1), and the driver
+// endpoints and transmit channels over them.
+type Host struct {
+	ID int
+	RC *pcie.Server
+
+	Left, Right     *ntb.Port         // nil when the side is not cabled
+	LeftEP, RightEP *driver.Endpoint  // nil when the side is not cabled
+	TxLeft, TxRight *driver.TxChannel // nil when the side is not cabled
+
+	cluster *Cluster
+}
+
+// Cluster is a set of hosts sharing one simulator, flow network, and
+// platform profile.
+type Cluster struct {
+	Sim   *sim.Simulator
+	Par   *model.Params
+	Net   *pcie.Network
+	Hosts []*Host
+	ring  bool
+}
+
+// NewRing builds the paper's switchless ring of n ≥ 2 hosts. Host i's
+// right adapter is cabled to host (i+1) mod n's left adapter; with n = 2
+// this yields two physical links, one per adapter pair, exactly as two
+// dual-adapter hosts would be cabled.
+func NewRing(s *sim.Simulator, par *model.Params, n int) *Cluster {
+	if n < 2 {
+		panic(fmt.Sprintf("fabric: ring needs >= 2 hosts, got %d", n))
+	}
+	c := newCluster(s, par, n)
+	c.ring = true
+	for i, h := range c.Hosts {
+		next := c.Hosts[(i+1)%n]
+		h.Right = ntb.NewPort(fmt.Sprintf("h%d.right", i), s, c.Net, par, h.RC)
+		next.Left = ntb.NewPort(fmt.Sprintf("h%d.left", next.ID), s, c.Net, par, next.RC)
+		// Both adapters of link i run at that link's chipset-dependent
+		// engine rate (the paper mixes PEX 8733 and 8749 parts).
+		h.Right.SetEngineBW(par.LinkEngineBW(i))
+		next.Left.SetEngineBW(par.LinkEngineBW(i))
+		ntb.Connect(h.Right, next.Left)
+	}
+	for _, h := range c.Hosts {
+		h.finishSides(par)
+	}
+	return c
+}
+
+// NewPair builds the Fig 8 "independent" baseline: two hosts joined by a
+// single NTB link (host 0's right adapter to host 1's left adapter), with
+// the other adapter slots empty.
+func NewPair(s *sim.Simulator, par *model.Params) *Cluster {
+	c := newCluster(s, par, 2)
+	a, b := c.Hosts[0], c.Hosts[1]
+	a.Right = ntb.NewPort("h0.right", s, c.Net, par, a.RC)
+	b.Left = ntb.NewPort("h1.left", s, c.Net, par, b.RC)
+	a.Right.SetEngineBW(par.LinkEngineBW(0))
+	b.Left.SetEngineBW(par.LinkEngineBW(0))
+	ntb.Connect(a.Right, b.Left)
+	a.finishSides(par)
+	b.finishSides(par)
+	return c
+}
+
+func newCluster(s *sim.Simulator, par *model.Params, n int) *Cluster {
+	if err := par.Validate(); err != nil {
+		panic(fmt.Sprintf("fabric: %v", err))
+	}
+	c := &Cluster{Sim: s, Par: par, Net: pcie.NewNetwork(s)}
+	for i := 0; i < n; i++ {
+		h := &Host{
+			ID:      i,
+			RC:      pcie.NewServer(fmt.Sprintf("rc:h%d", i), par.RootComplexBW),
+			cluster: c,
+		}
+		c.Hosts = append(c.Hosts, h)
+	}
+	return c
+}
+
+// finishSides builds endpoints and transmit channels for the cabled
+// sides and assigns the PCIe requester IDs the LUTs filter on.
+func (h *Host) finishSides(par *model.Params) {
+	if h.Left != nil {
+		h.Left.SetRequesterID(uint16(h.ID)<<1 | 1)
+		h.LeftEP = driver.NewEndpoint(h.Left)
+		h.TxLeft = driver.NewTxChannel(h.LeftEP, par)
+	}
+	if h.Right != nil {
+		h.Right.SetRequesterID(uint16(h.ID)<<1 | 0x100)
+		h.RightEP = driver.NewEndpoint(h.Right)
+		h.TxRight = driver.NewTxChannel(h.RightEP, par)
+	}
+}
+
+// CutLink fails the cable between host i and host (i+1) mod N, for
+// failure injection (see ntb.Port.Unplug for the resulting semantics).
+func (c *Cluster) CutLink(i int) {
+	h := c.Hosts[i%c.N()]
+	if h.Right == nil {
+		panic(fmt.Sprintf("fabric: host %d has no rightward cable", h.ID))
+	}
+	h.Right.Unplug()
+}
+
+// N returns the number of hosts in the cluster.
+func (c *Cluster) N() int { return len(c.Hosts) }
+
+// Ring reports whether the cluster is a full ring (every side cabled).
+func (c *Cluster) Ring() bool { return c.ring }
+
+// RightNeighbor returns the host Id one hop rightward.
+func (h *Host) RightNeighbor() int { return (h.ID + 1) % h.cluster.N() }
+
+// LeftNeighbor returns the host Id one hop leftward.
+func (h *Host) LeftNeighbor() int { return (h.ID - 1 + h.cluster.N()) % h.cluster.N() }
+
+// HopsRight returns how many rightward hops reach dst. The paper routes
+// all data rightward around the ring, which is how a three-host ring
+// exhibits both one- and two-hop transfers.
+func (h *Host) HopsRight(dst int) int {
+	return (dst - h.ID + h.cluster.N()) % h.cluster.N()
+}
+
+// Boot performs the paper's pre-setup exchange on every cabled port of h:
+// each side publishes its host Id (plus one, so zero means "not yet")
+// through the reserved boot scratchpad and polls for the neighbour's.
+// It must run inside the simulation, once per host, before any transfer.
+// It returns the discovered (leftID, rightID), with -1 for missing sides.
+func (h *Host) Boot(p *sim.Proc) (leftID, rightID int) {
+	leftID, rightID = -1, -1
+	// Program the requester-ID LUTs first (the paper's "write/read ID
+	// setup for LUT entry mapping"): each port admits its cable peer.
+	for _, port := range []*ntb.Port{h.Left, h.Right} {
+		if port != nil {
+			port.LUTAdd(p, port.Peer().RequesterID())
+		}
+	}
+	publish := func(port *ntb.Port) {
+		if port != nil {
+			port.PeerSpadWrite(p, driver.SpadBoot, uint32(h.ID)+1)
+		}
+	}
+	publish(h.Left)
+	publish(h.Right)
+	poll := func(port *ntb.Port) int {
+		if port == nil {
+			return -1
+		}
+		for {
+			if v := port.SpadRead(p, driver.SpadBoot); v != 0 {
+				return int(v) - 1
+			}
+			p.Sleep(sim.Microseconds(1))
+		}
+	}
+	leftID = poll(h.Left)
+	rightID = poll(h.Right)
+	return leftID, rightID
+}

@@ -1,0 +1,269 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignedBasic(t *testing.T) {
+	h := NewHeap(1<<16, 1<<22)
+	// Disturb natural alignment first.
+	if _, err := h.Alloc(24); err != nil {
+		t.Fatal(err)
+	}
+	for _, align := range []int{8, 64, 256, 4096} {
+		off, err := h.AllocAligned(100, align)
+		if err != nil {
+			t.Fatalf("align %d: %v", align, err)
+		}
+		if off%int64(align) != 0 {
+			t.Fatalf("align %d: offset %d not aligned", align, off)
+		}
+	}
+}
+
+func TestAllocAlignedRejectsBadAlignment(t *testing.T) {
+	h := NewHeap(1<<16, 1<<20)
+	for _, align := range []int{0, -8, 3, 24, 100} {
+		if _, err := h.AllocAligned(64, align); err == nil {
+			t.Errorf("alignment %d accepted", align)
+		}
+	}
+}
+
+func TestAllocAlignedSmallAlignmentRoundsUp(t *testing.T) {
+	h := NewHeap(1<<16, 1<<20)
+	off, err := h.AllocAligned(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%8 != 0 {
+		t.Fatalf("sub-minimum alignment produced offset %d", off)
+	}
+}
+
+func TestAllocAlignedExhaustion(t *testing.T) {
+	h := NewHeap(4096, 2*4096)
+	if _, err := h.AllocAligned(2*4096+1, 64); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestPropertyAlignedAllocationsSound(t *testing.T) {
+	// Property: mixed aligned/unaligned allocations never overlap, all
+	// results are properly aligned, and freeing everything coalesces
+	// back to a fully usable heap.
+	f := func(ops []uint16, seed int64) bool {
+		h := NewHeap(4096, 1<<22)
+		rng := rand.New(rand.NewSource(seed))
+		type allocation struct {
+			off  int64
+			size int
+		}
+		var live []allocation
+		aligns := []int{8, 16, 64, 512, 4096}
+		for _, op := range ops {
+			if len(live) > 0 && op%4 == 0 {
+				i := rng.Intn(len(live))
+				if h.Free(live[i].off) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := int(op%3000) + 1
+			align := aligns[int(op)%len(aligns)]
+			off, err := h.AllocAligned(size, align)
+			if errors.Is(err, ErrOutOfMemory) {
+				continue
+			}
+			if err != nil || off%int64(align) != 0 {
+				return false
+			}
+			live = append(live, allocation{off, size})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.off < b.off+int64(b.size) && b.off < a.off+int64(a.size) {
+					return false
+				}
+			}
+		}
+		for _, a := range live {
+			if h.Free(a.off) != nil {
+				return false
+			}
+		}
+		if h.Live() != 0 || h.LiveBytes() != 0 {
+			return false
+		}
+		if h.Size() > 0 {
+			off, err := h.Alloc(int(h.Size()))
+			if err != nil || off != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReallocShrinkGrowMove(t *testing.T) {
+	h := NewHeap(4096, 1<<20)
+	a, _ := h.Alloc(1000)
+	fill := make([]byte, 1000)
+	for i := range fill {
+		fill[i] = byte(i)
+	}
+	h.Write(a, fill)
+
+	// Shrink in place.
+	b, err := h.Realloc(a, 400)
+	if err != nil || b != a {
+		t.Fatalf("shrink: off=%d err=%v", b, err)
+	}
+	buf := make([]byte, 400)
+	h.Read(b, buf)
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatal("shrink lost data")
+		}
+	}
+
+	// Grow in place into the freed tail.
+	c, err := h.Realloc(b, 900)
+	if err != nil || c != b {
+		t.Fatalf("grow-in-place: off=%d err=%v", c, err)
+	}
+	h.Read(c, buf)
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatal("grow lost prefix")
+		}
+	}
+
+	// Block the tail and force a move.
+	blocker, _ := h.Alloc(64)
+	_ = blocker
+	d, err := h.Realloc(c, 10_000)
+	if err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if d == c {
+		t.Fatal("expected a moved reallocation")
+	}
+	h.Read(d, buf)
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatal("move lost prefix")
+		}
+	}
+	// Old block must be gone.
+	if _, _, ok := h.BlockOf(c); ok {
+		t.Fatal("old block still live after move")
+	}
+}
+
+func TestReallocErrors(t *testing.T) {
+	h := NewHeap(4096, 2*4096)
+	a, _ := h.Alloc(64)
+	if _, err := h.Realloc(a+8, 100); err == nil {
+		t.Error("interior realloc accepted")
+	}
+	if _, err := h.Realloc(a, 0); err == nil {
+		t.Error("zero-size realloc accepted")
+	}
+	if _, err := h.Realloc(a, 1<<30); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized realloc: %v", err)
+	}
+	// Failure must not destroy the original.
+	if _, _, ok := h.BlockOf(a); !ok {
+		t.Fatal("failed realloc freed the original")
+	}
+}
+
+func TestPropertyReallocPreservesPrefix(t *testing.T) {
+	f := func(sizes []uint16, seed int64) bool {
+		h := NewHeap(4096, 1<<22)
+		rng := rand.New(rand.NewSource(seed))
+		off, err := h.Alloc(512)
+		if err != nil {
+			return false
+		}
+		shadow := make([]byte, 512)
+		rng.Read(shadow)
+		h.Write(off, shadow)
+		cur := 512
+		for _, s := range sizes {
+			next := int(s%6000) + 1
+			newOff, err := h.Realloc(off, next)
+			if errors.Is(err, ErrOutOfMemory) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			off = newOff
+			keep := cur
+			if next < keep {
+				keep = next
+			}
+			buf := make([]byte, keep)
+			h.Read(off, buf)
+			for i := 0; i < keep; i++ {
+				if buf[i] != shadow[i] {
+					return false
+				}
+			}
+			// Refresh the shadow to the new size.
+			ns := make([]byte, next)
+			copy(ns, shadow[:keep])
+			rng.Read(ns[keep:])
+			h.Write(off, ns)
+			shadow = ns
+			cur = next
+		}
+		return h.Live() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHeapAllocFree(b *testing.B) {
+	h := NewHeap(1<<20, 1<<28)
+	offs := make([]int64, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := h.Alloc(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offs = append(offs, off)
+		if len(offs) == 64 {
+			for _, o := range offs {
+				if err := h.Free(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			offs = offs[:0]
+		}
+	}
+}
+
+func BenchmarkHeapReadWrite(b *testing.B) {
+	h := NewHeap(1<<20, 1<<24)
+	off, _ := h.Alloc(64 << 10)
+	buf := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Write(off, buf)
+		h.Read(off, buf)
+	}
+}

@@ -1,0 +1,51 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON (de)serialisation of platform profiles, so experiment tooling can
+// ship custom calibrations as files (`cmd/reproduce -params file.json`).
+// sim.Duration fields marshal as integer nanoseconds.
+
+// MarshalJSON renders the profile as a flat JSON object.
+func (p *Params) MarshalJSON() ([]byte, error) {
+	type alias Params // strip methods to avoid recursion
+	return json.Marshal((*alias)(p))
+}
+
+// UnmarshalJSON parses a profile; missing fields keep their zero values,
+// so callers should start from Default and overlay.
+func (p *Params) UnmarshalJSON(data []byte) error {
+	type alias Params
+	return json.Unmarshal(data, (*alias)(p))
+}
+
+// LoadParams reads a profile from a JSON file, overlaying it on the
+// default profile so partial files (just the fields being changed) work,
+// and validates the result.
+func LoadParams(path string) (*Params, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	p := Default()
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("model: parsing %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("model: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// SaveParams writes the profile to a JSON file, for editing and reuse.
+func SaveParams(p *Params, path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	p := Default()
+	p.Gen = 2
+	p.ServiceWake = sim.Microseconds(33)
+	p.ChipsetSpread = []float64{1, 2, 3}
+	if err := SaveParams(p, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != 2 || got.ServiceWake != sim.Microseconds(33) {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.ChipsetSpread) != 3 || got.ChipsetSpread[1] != 2 {
+		t.Fatalf("spread lost: %v", got.ChipsetSpread)
+	}
+}
+
+func TestLoadParamsOverlaysDefault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(path, []byte(`{"Gen": 1, "DMAEngineBW": 5e8}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Gen != 1 || p.DMAEngineBW != 5e8 {
+		t.Fatalf("overrides lost: %+v", p)
+	}
+	// Untouched fields come from the default profile.
+	if p.WindowSize != Default().WindowSize || p.ServiceWake != Default().ServiceWake {
+		t.Fatal("defaults not preserved under overlay")
+	}
+}
+
+func TestLoadParamsRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"Gen": 9}`), 0o644)
+	if _, err := LoadParams(bad); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	os.WriteFile(garbage, []byte(`{not json`), 0o644)
+	if _, err := LoadParams(garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadParams(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+}
+
+func TestWireBandwidthByGeneration(t *testing.T) {
+	cases := []struct {
+		gen, lanes int
+		wantGBs    float64 // approximate post-encoding bytes/sec
+	}{
+		{1, 8, 2.0e9},            // 2.5 GT/s * 8 * 0.8 / 8
+		{2, 8, 4.0e9},            // 5 GT/s * 8 * 0.8 / 8
+		{3, 8, 7.876923076923e9}, // 8 GT/s * 8 * (128/130) / 8
+		{3, 16, 15.753846153846e9},
+		{3, 1, 0.984615384615e9},
+	}
+	for _, c := range cases {
+		p := Default()
+		p.Gen, p.Lanes = c.gen, c.lanes
+		got := p.WireBandwidth()
+		if math.Abs(got-c.wantGBs)/c.wantGBs > 1e-9 {
+			t.Errorf("gen%d x%d wire BW = %.4g, want %.4g", c.gen, c.lanes, got, c.wantGBs)
+		}
+	}
+}
+
+func TestProtocolEfficiency(t *testing.T) {
+	p := Default()
+	p.MaxPayload, p.TLPOverhead = 256, 26
+	want := 256.0 / 282.0
+	if got := p.ProtocolEfficiency(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("efficiency = %v, want %v", got, want)
+	}
+	if p.EffectiveWireBW() >= p.WireBandwidth() {
+		t.Error("effective BW should be below wire BW")
+	}
+}
+
+func TestEngineSlowerThanWire(t *testing.T) {
+	// The calibrated profile must keep the DMA engine as the single-flow
+	// bottleneck (paper: 20-30 Gb/s despite a ~63 Gb/s wire).
+	p := Default()
+	if p.DMAEngineBW >= p.EffectiveWireBW() {
+		t.Fatalf("DMA engine (%g) not slower than wire (%g)", p.DMAEngineBW, p.EffectiveWireBW())
+	}
+	// And the root complex must sit between one and two engine flows so
+	// that simultaneous ring traffic is only slightly throttled (Fig 8).
+	if p.RootComplexBW <= p.DMAEngineBW {
+		t.Fatal("root complex must carry at least one full engine flow")
+	}
+	if p.RootComplexBW >= 2*p.DMAEngineBW {
+		t.Fatal("root complex must be under 2x engine BW or the ring shows no contention at all")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	break1 := func(f func(*Params)) error {
+		p := Default()
+		f(p)
+		return p.Validate()
+	}
+	cases := map[string]func(*Params){
+		"gen0":          func(p *Params) { p.Gen = 0 },
+		"gen4":          func(p *Params) { p.Gen = 4 },
+		"lanes3":        func(p *Params) { p.Lanes = 3 },
+		"payload small": func(p *Params) { p.MaxPayload = 32 },
+		"no engine":     func(p *Params) { p.DMAEngineBW = 0 },
+		"no memcpy":     func(p *Params) { p.MemcpyBW = 0 },
+		"no rc":         func(p *Params) { p.RootComplexBW = -1 },
+		"tiny window":   func(p *Params) { p.WindowSize = 128 },
+		"chunk>window":  func(p *Params) { p.BypassChunk = p.WindowSize * 2 },
+		"getchunk tiny": func(p *Params) { p.GetChunk = 16 },
+		"heap chunk":    func(p *Params) { p.SymHeapChunk = 8 },
+		"heap max":      func(p *Params) { p.SymHeapMax = p.SymHeapChunk - 1 },
+		"few spads":     func(p *Params) { p.SpadCount = 2 },
+		"few doorbells": func(p *Params) { p.DoorbellBits = 1 },
+	}
+	for name, f := range cases {
+		if err := break1(f); err == nil {
+			t.Errorf("%s: Validate accepted a broken profile", name)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := Default()
+	b := a.Clone()
+	b.Lanes = 16
+	b.DMAEngineBW = 1
+	if a.Lanes == 16 || a.DMAEngineBW == 1 {
+		t.Fatal("Clone shares state with the original")
+	}
+}

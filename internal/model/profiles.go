@@ -1,0 +1,70 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Named platform profiles. The default reproduces the paper's testbed;
+// the others rescale the link for what-if experiments (the paper's
+// background section motivates PCIe generations by their raw rates, and
+// the E1 extension figure quantifies what each generation would have
+// meant for the prototype).
+var profiles = map[string]func() *Params{
+	"gen3x8": Default,
+	"gen1x8": func() *Params {
+		p := Default()
+		p.Gen = 1
+		// First-generation silicon: slower engines and root complexes
+		// in rough proportion to the wire.
+		p.DMAEngineBW = 0.9e9
+		p.RootComplexBW = 1.7e9
+		return p
+	},
+	"gen2x8": func() *Params {
+		p := Default()
+		p.Gen = 2
+		p.DMAEngineBW = 1.8e9
+		p.RootComplexBW = 3.4e9
+		return p
+	},
+	"gen3x16": func() *Params {
+		p := Default()
+		p.Lanes = 16
+		// Wider links do not speed the PEX DMA engines up, but the
+		// root complex has twice the lanes to spread across.
+		p.RootComplexBW = 11.0e9
+		return p
+	},
+	"gen4x8": func() *Params {
+		// A what-if beyond the paper: Gen4 signalling with engines
+		// scaled like the PEX parts' successors.
+		p := Default()
+		p.Gen = 3 // encoding identical to Gen3 (128b/130b)
+		p.Lanes = 16
+		p.DMAEngineBW = 5.8e9
+		p.RootComplexBW = 11.0e9
+		return p
+	},
+}
+
+// Profile returns the named platform profile. Names returns the valid
+// choices.
+func Profile(name string) (*Params, error) {
+	f, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown profile %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// Names lists the available profile names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfilesAllValidate(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Profile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: invalid profile: %v", name, err)
+		}
+	}
+}
+
+func TestProfileUnknown(t *testing.T) {
+	_, err := Profile("gen9x99")
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if !strings.Contains(err.Error(), "gen3x8") {
+		t.Errorf("error should list valid names: %v", err)
+	}
+}
+
+func TestProfileOrderingMakesSense(t *testing.T) {
+	wire := func(name string) float64 {
+		p, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.EffectiveWireBW()
+	}
+	if !(wire("gen1x8") < wire("gen2x8") && wire("gen2x8") < wire("gen3x8")) {
+		t.Error("wire bandwidth must grow with generation")
+	}
+	if wire("gen3x16") <= wire("gen3x8") {
+		t.Error("wider link must be faster")
+	}
+	d, _ := Profile("gen3x8")
+	def := Default()
+	if d.DMAEngineBW != def.DMAEngineBW || d.Gen != def.Gen {
+		t.Error("gen3x8 must equal the default profile")
+	}
+}
+
+func TestProfileInstancesIndependent(t *testing.T) {
+	a, _ := Profile("gen3x8")
+	b, _ := Profile("gen3x8")
+	a.Lanes = 1
+	if b.Lanes == 1 {
+		t.Fatal("Profile returns shared instances")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("only %d profiles", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

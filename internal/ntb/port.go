@@ -1,0 +1,487 @@
+// Package ntb models a PCIe Non-Transparent Bridge endpoint after the PLX
+// PEX 8733/8749 parts the paper's adapters are built on.
+//
+// Each Port exposes the register surface the paper's library programs:
+//
+//   - eight 32-bit ScratchPad registers, readable and writable by both
+//     link partners (peer access crosses the link at MMIO cost);
+//   - a 16-bit Doorbell register with a mask, where a peer-side set
+//     delivers an interrupt to the local host;
+//   - two inbound memory windows (the shmem data window and the bypass
+//     window), which the peer reaches through its outgoing BAR; and
+//   - a DMA engine that moves bulk data through the link.
+//
+// Bulk transfers are priced by the pcie fluid-flow network (engine rate,
+// wire, both root complexes); register accesses are priced with fixed
+// MMIO latencies from the model profile.
+package ntb
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// TraceEvent is one observable device action, delivered to an attached
+// trace hook. Dur is zero for instantaneous events (register accesses,
+// doorbell rings) and the occupancy time for transfers.
+type TraceEvent struct {
+	T     sim.Time
+	Dur   sim.Duration
+	Cat   string // "dma", "pio", "doorbell", "spad"
+	Name  string // e.g. "xfer", "ring", "deliver", "peer-write"
+	Port  string
+	Bytes int
+}
+
+// TraceFunc receives device trace events; see Port.SetTrace.
+type TraceFunc func(TraceEvent)
+
+// Region selects one of a port's inbound memory windows.
+type Region int
+
+const (
+	// RegionData is the shmem transfer window: puts to a neighbour land
+	// here before the service thread copies them into the symmetric heap.
+	RegionData Region = iota
+	// RegionBypass is the store-and-forward window used when the local
+	// host is not the final destination (paper §III-B.1, third step).
+	RegionBypass
+	numRegions
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionData:
+		return "data"
+	case RegionBypass:
+		return "bypass"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// Port is one NTB endpoint. A switchless-ring host installs two of these
+// (left and right adapters). All methods taking a *sim.Proc block that
+// process for the modelled duration of the operation.
+type Port struct {
+	name string
+	par  *model.Params
+	sim  *sim.Simulator
+	net  *pcie.Network
+
+	peer     *Port
+	wire     *pcie.Server
+	localRC  *pcie.Server
+	linkDown *bool // shared by both ends of the cable
+
+	engineBW float64 // this adapter's DMA engine rate (chipset-dependent)
+
+	spads  []uint32
+	db     uint16
+	dbMask uint16
+	isr    func(bits uint16)
+
+	inbound [numRegions][]byte
+
+	// Requester-ID lookup table (the paper's "LUT entry mapping for NTB
+	// device identification"): when enforced, inbound window
+	// transactions are accepted only from registered requester IDs.
+	reqID       uint16
+	lut         map[uint16]bool
+	lutEnforced bool
+
+	dma   *Engine
+	trace TraceFunc
+}
+
+// NewPort creates an unconnected port. localRC is the owning host's root
+// complex server in the flow network.
+func NewPort(name string, s *sim.Simulator, net *pcie.Network, par *model.Params, localRC *pcie.Server) *Port {
+	p := &Port{
+		name:     name,
+		par:      par,
+		sim:      s,
+		net:      net,
+		localRC:  localRC,
+		engineBW: par.DMAEngineBW,
+		spads:    make([]uint32, par.SpadCount),
+	}
+	for r := range p.inbound {
+		p.inbound[r] = make([]byte, par.WindowSize)
+	}
+	p.dma = newEngine(p)
+	return p
+}
+
+// Connect joins two ports with a cable whose wire capacity comes from the
+// model profile. Both ports must be unconnected.
+func Connect(a, b *Port) {
+	if a.peer != nil || b.peer != nil {
+		panic("ntb: port already connected")
+	}
+	if a.par != b.par {
+		panic("ntb: ports built from different profiles")
+	}
+	wire := pcie.NewServer("wire:"+a.name+"<->"+b.name, a.par.EffectiveWireBW())
+	a.peer, b.peer = b, a
+	a.wire, b.wire = wire, wire
+	down := new(bool)
+	a.linkDown, b.linkDown = down, down
+}
+
+// Unplug fails the cable between this port and its peer, for failure
+// injection. After Unplug, posted writes (scratchpads, doorbells, window
+// stores) are silently dropped, non-posted reads return the PCIe
+// master-abort value (all ones) after a timeout, and in-flight or new
+// DMA descriptors never complete — exactly how a yanked PCIe cable
+// manifests to software.
+func (p *Port) Unplug() {
+	if p.linkDown == nil {
+		panic("ntb: unplug of an unconnected port")
+	}
+	*p.linkDown = true
+}
+
+// LinkUp reports whether the cable is intact.
+func (p *Port) LinkUp() bool { return p.linkDown != nil && !*p.linkDown }
+
+// abortTimeout is how long a non-posted read to a dead link stalls
+// before the root complex synthesises the master-abort completion.
+const abortTimeout = 50 * sim.Microsecond
+
+// Name returns the port's diagnostic label.
+func (p *Port) Name() string { return p.name }
+
+// Par returns the platform profile the port was built with.
+func (p *Port) Par() *model.Params { return p.par }
+
+// Peer returns the link partner, or nil before Connect.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Connected reports whether the port has a link partner.
+func (p *Port) Connected() bool { return p.peer != nil }
+
+// DMA returns the port's DMA engine.
+func (p *Port) DMA() *Engine { return p.dma }
+
+// SetRequesterID assigns the PCIe requester ID this port's outbound
+// transactions carry (the fabric derives it from host and side).
+func (p *Port) SetRequesterID(id uint16) { p.reqID = id }
+
+// RequesterID returns the port's requester ID.
+func (p *Port) RequesterID() uint16 { return p.reqID }
+
+// LUTAdd registers a peer requester ID in the port's lookup table and
+// enables enforcement: from then on, inbound window transactions from
+// unregistered requesters are rejected, as on the PEX parts. It is a
+// local register write.
+func (p *Port) LUTAdd(pr *sim.Proc, reqID uint16) {
+	pr.Sleep(p.par.LocalMMIO)
+	if p.lut == nil {
+		p.lut = make(map[uint16]bool)
+	}
+	p.lut[reqID] = true
+	p.lutEnforced = true
+}
+
+// LUTContains reports whether a requester ID is registered.
+func (p *Port) LUTContains(reqID uint16) bool { return p.lut[reqID] }
+
+// admit panics when an enforced LUT rejects the peer's requester ID —
+// in simulation a rejected transaction is a protocol-ordering bug (the
+// boot exchange programs LUTs before any data flows), so it fails loudly
+// rather than silently dropping as the hardware would.
+func (p *Port) admit(from *Port) {
+	if p.lutEnforced && !p.lut[from.reqID] {
+		panic(fmt.Sprintf("ntb: %s rejected transaction from requester %#x (%s): not in LUT",
+			p.name, from.reqID, from.name))
+	}
+}
+
+// SetTrace attaches a trace hook; nil detaches. The hook runs inline on
+// the simulation's virtual timeline and must not block.
+func (p *Port) SetTrace(fn TraceFunc) { p.trace = fn }
+
+func (p *Port) emit(cat, name string, dur sim.Duration, bytes int) {
+	if p.trace != nil {
+		p.trace(TraceEvent{T: p.sim.Now(), Dur: dur, Cat: cat, Name: name, Port: p.name, Bytes: bytes})
+	}
+}
+
+// SetEngineBW overrides the adapter's DMA engine rate, which the fabric
+// uses to model the paper's mixed PEX 8733/8749 chipsets. Must be set
+// before any transfer.
+func (p *Port) SetEngineBW(bw float64) {
+	if bw <= 0 {
+		panic("ntb: non-positive engine bandwidth")
+	}
+	p.engineBW = bw
+}
+
+// EngineBW returns the adapter's DMA engine rate.
+func (p *Port) EngineBW() float64 { return p.engineBW }
+
+// Inbound returns the backing store of an inbound window. The slice
+// aliases device memory; the service thread copies out of it.
+func (p *Port) Inbound(r Region) []byte { return p.inbound[r] }
+
+func (p *Port) mustPeer() *Port {
+	if p.peer == nil {
+		panic("ntb: " + p.name + " is not connected")
+	}
+	return p.peer
+}
+
+// ---- ScratchPad registers ----
+
+// SpadWrite writes a local scratchpad register.
+func (p *Port) SpadWrite(pr *sim.Proc, idx int, val uint32) {
+	pr.Sleep(p.par.LocalMMIO)
+	p.spads[idx] = val
+}
+
+// SpadRead reads a local scratchpad register.
+func (p *Port) SpadRead(pr *sim.Proc, idx int) uint32 {
+	pr.Sleep(p.par.LocalMMIO)
+	return p.spads[idx]
+}
+
+// PeerSpadWrite writes the peer's scratchpad register idx across the link
+// (a posted write; silently dropped if the cable is down).
+func (p *Port) PeerSpadWrite(pr *sim.Proc, idx int, val uint32) {
+	pr.Sleep(p.par.MMIOWrite)
+	p.emit("spad", "peer-write", 0, 4)
+	if *p.mustPeerLink() {
+		return
+	}
+	p.peer.spads[idx] = val
+}
+
+// PeerSpadRead reads the peer's scratchpad register idx across the link
+// (a non-posted read that waits for the completion TLP). On a dead link
+// it stalls for the abort timeout and returns all ones.
+func (p *Port) PeerSpadRead(pr *sim.Proc, idx int) uint32 {
+	if *p.mustPeerLink() {
+		pr.Sleep(abortTimeout)
+		return ^uint32(0)
+	}
+	pr.Sleep(p.par.MMIORead)
+	p.emit("spad", "peer-read", 0, 4)
+	return p.peer.spads[idx]
+}
+
+// mustPeerLink returns the shared link-down flag, panicking when the
+// port was never cabled.
+func (p *Port) mustPeerLink() *bool {
+	p.mustPeer()
+	return p.linkDown
+}
+
+// ---- Doorbell registers ----
+
+// SetISR registers the host's interrupt handler. The handler runs in
+// scheduler context after the modelled interrupt latency; it must not
+// block (real handlers queue work for the service thread, and so do ours).
+func (p *Port) SetISR(fn func(bits uint16)) { p.isr = fn }
+
+// PeerDBSet rings doorbell bits on the peer port: a posted MMIO write,
+// then interrupt delivery on the far host after the interrupt latency.
+// Dropped silently on a dead link.
+func (p *Port) PeerDBSet(pr *sim.Proc, bits uint16) {
+	pr.Sleep(p.par.MMIOWrite)
+	if *p.mustPeerLink() {
+		return
+	}
+	p.emit("doorbell", "ring", 0, 0)
+	peer := p.peer
+	p.sim.After(p.par.InterruptLatency, func() { peer.raise(bits) })
+}
+
+// raise latches bits into the doorbell register and, for unmasked bits,
+// invokes the ISR.
+func (p *Port) raise(bits uint16) {
+	p.emit("doorbell", "deliver", 0, 0)
+	p.db |= bits
+	if deliver := bits &^ p.dbMask; deliver != 0 && p.isr != nil {
+		p.isr(deliver)
+	}
+}
+
+// ClearInISR clears doorbell bits from interrupt context (the handler has
+// already paid the ISR cost; a separate MMIO charge would double-count).
+func (p *Port) ClearInISR(bits uint16) { p.db &^= bits }
+
+// DBRead returns the doorbell status register.
+func (p *Port) DBRead(pr *sim.Proc) uint16 {
+	pr.Sleep(p.par.LocalMMIO)
+	return p.db
+}
+
+// DBClear clears the given doorbell bits.
+func (p *Port) DBClear(pr *sim.Proc, bits uint16) {
+	pr.Sleep(p.par.LocalMMIO)
+	p.db &^= bits
+}
+
+// DBSetMask masks the given doorbell bits: masked bits still latch into
+// the status register but do not raise interrupts.
+func (p *Port) DBSetMask(pr *sim.Proc, bits uint16) {
+	pr.Sleep(p.par.LocalMMIO)
+	p.dbMask |= bits
+}
+
+// DBClearMask unmasks bits; any already-latched newly-unmasked bits fire
+// the ISR immediately, as on the PEX parts.
+func (p *Port) DBClearMask(pr *sim.Proc, bits uint16) {
+	pr.Sleep(p.par.LocalMMIO)
+	p.dbMask &^= bits
+	if pending := p.db &^ p.dbMask & bits; pending != 0 && p.isr != nil {
+		p.isr(pending)
+	}
+}
+
+// ---- Memory windows ----
+
+// path returns the flow-network servers a transfer to the peer crosses.
+func (p *Port) path() []*pcie.Server {
+	peer := p.mustPeer()
+	return []*pcie.Server{p.localRC, p.wire, peer.localRC}
+}
+
+// checkWindow validates a window write destination.
+func (p *Port) checkWindow(r Region, off, n int) {
+	if r < 0 || r >= numRegions {
+		panic(fmt.Sprintf("ntb: bad region %d", r))
+	}
+	if off < 0 || n < 0 || off+n > p.par.WindowSize {
+		panic(fmt.Sprintf("ntb: window access [%d,%d) exceeds window size %d", off, off+n, p.par.WindowSize))
+	}
+}
+
+// CPUWrite moves data into the peer's inbound window with programmed I/O:
+// the calling process performs write-combining stores through its
+// outgoing BAR. It blocks for the full transfer.
+func (p *Port) CPUWrite(pr *sim.Proc, r Region, off int, data []byte) {
+	p.checkWindow(r, off, len(data))
+	peer := p.mustPeer()
+	peer.admit(p)
+	start := pr.Now()
+	p.net.Transfer(pr, int64(len(data)), p.par.WindowWriteBW, p.path()...)
+	p.emit("pio", "window-write", pr.Now().Sub(start), len(data))
+	if *p.linkDown {
+		return // posted stores to a dead link vanish
+	}
+	copy(peer.inbound[r][off:], data)
+}
+
+// CPURead pulls data from the peer's inbound window with uncached loads
+// across the link. The paper's library never bulk-reads through the
+// window — this method exists to let tests demonstrate why (WindowReadBW
+// is catastrophically low).
+func (p *Port) CPURead(pr *sim.Proc, r Region, off int, buf []byte) {
+	p.checkWindow(r, off, len(buf))
+	peer := p.mustPeer()
+	peer.admit(p)
+	if *p.linkDown {
+		pr.Sleep(abortTimeout)
+		for i := range buf {
+			buf[i] = 0xFF // master-abort data
+		}
+		return
+	}
+	start := pr.Now()
+	p.net.Transfer(pr, int64(len(buf)), p.par.WindowReadBW, p.path()...)
+	p.emit("pio", "window-read", pr.Now().Sub(start), len(buf))
+	copy(buf, peer.inbound[r][off:off+len(buf)])
+}
+
+// ---- DMA engine ----
+
+// Desc is one DMA descriptor: move Bytes bytes from the host-resident
+// source (either Src or, when SrcHeap is non-nil, heap range [SrcOff,
+// SrcOff+Bytes)) into the peer's inbound window r at Off.
+type Desc struct {
+	Region  Region
+	Off     int
+	Src     []byte
+	SrcHeap *mem.Heap
+	SrcOff  int64
+	Bytes   int
+}
+
+// Engine is a per-adapter DMA engine. Descriptors are processed strictly
+// in submission order; each costs the setup time plus the flow-network
+// transfer time.
+type Engine struct {
+	port  *Port
+	queue *sim.Queue[*engineJob]
+	busy  int
+}
+
+type engineJob struct {
+	desc Desc
+	done *sim.Completion
+}
+
+func newEngine(p *Port) *Engine {
+	e := &Engine{
+		port:  p,
+		queue: sim.NewQueue[*engineJob]("dma:" + p.name),
+	}
+	p.sim.GoDaemon("dma-engine:"+p.name, e.run)
+	return e
+}
+
+// Submit enqueues a descriptor and returns a completion that fires when
+// the data is visible in the peer window. Submit itself costs one local
+// register write (ringing the engine) when called from process context;
+// pass nil to submit from scheduler context at zero cost.
+func (e *Engine) Submit(pr *sim.Proc, d Desc) *sim.Completion {
+	e.port.checkWindow(d.Region, d.Off, d.Bytes)
+	if d.SrcHeap == nil && len(d.Src) < d.Bytes {
+		panic("ntb: DMA descriptor source shorter than Bytes")
+	}
+	if pr != nil {
+		pr.Sleep(e.port.par.LocalMMIO)
+	}
+	job := &engineJob{desc: d, done: sim.NewCompletion("dma-done:" + e.port.name)}
+	e.busy++
+	e.queue.Push(job)
+	return job.done
+}
+
+// Pending reports descriptors submitted but not yet completed.
+func (e *Engine) Pending() int { return e.busy }
+
+func (e *Engine) run(pr *sim.Proc) {
+	par := e.port.par
+	for {
+		job := e.queue.Pop(pr)
+		d := &job.desc
+		start := pr.Now()
+		pr.Sleep(par.DMASetup)
+		if *e.port.linkDown {
+			// The engine wedges on a dead link: the descriptor never
+			// completes and the engine processes nothing further, as on
+			// real parts until a driver-level reset.
+			pr.Sleep(par.DMASetup)
+			wedge := sim.NewCompletion("dma-wedged:" + e.port.name)
+			wedge.Wait(pr) // parks forever
+		}
+		e.port.mustPeer().admit(e.port)
+		e.port.net.Transfer(pr, int64(d.Bytes), e.port.engineBW, e.port.path()...)
+		dst := e.port.mustPeer().inbound[d.Region][d.Off : d.Off+d.Bytes]
+		if d.SrcHeap != nil {
+			d.SrcHeap.Read(d.SrcOff, dst)
+		} else {
+			copy(dst, d.Src[:d.Bytes])
+		}
+		e.port.emit("dma", "xfer", pr.Now().Sub(start), d.Bytes)
+		e.busy--
+		job.done.Complete()
+	}
+}

@@ -1,0 +1,244 @@
+// Package pcie models PCIe data movement as a fluid-flow network.
+//
+// Every bulk transfer (DMA or CPU window copy) is a flow crossing a set of
+// capacitated servers: the source host's root complex, the wire of each
+// traversed link, the destination root complex, and a private server for
+// the mover's own maximum rate (DMA engine or CPU copy speed). Concurrent
+// flows share server capacity max-min fairly; the network re-solves the
+// allocation whenever a flow starts or finishes and advances each flow's
+// progress in closed form between those instants.
+//
+// This is how the repository reproduces Fig 8 of the paper: one flow alone
+// is bottlenecked by its DMA engine, while three simultaneous ring flows
+// also contend pairwise inside each host's root complex, shaving a few
+// percent off each — the paper's "slightly diminished" simultaneous rate.
+package pcie
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Server is a capacitated stage of the fabric (a root complex, a cable, a
+// switch port). Capacity is in bytes per second of virtual time.
+type Server struct {
+	name     string
+	capacity float64
+}
+
+// NewServer returns a server with the given capacity in bytes/second.
+func NewServer(name string, capacity float64) *Server {
+	if capacity <= 0 {
+		panic("pcie: server capacity must be positive: " + name)
+	}
+	return &Server{name: name, capacity: capacity}
+}
+
+// Name returns the server's diagnostic label.
+func (s *Server) Name() string { return s.name }
+
+// Capacity returns the server's capacity in bytes/second.
+func (s *Server) Capacity() float64 { return s.capacity }
+
+// Transfer is an in-flight flow. Wait blocks the calling process until the
+// last byte has drained through every server.
+type Transfer struct {
+	servers   []*Server
+	limit     float64
+	remaining float64
+	rate      float64
+	last      sim.Time
+	done      *sim.Completion
+	frozen    bool // scratch for the solver
+}
+
+// Wait blocks until the transfer completes.
+func (t *Transfer) Wait(p *sim.Proc) { t.done.Wait(p) }
+
+// Done reports whether the transfer has completed.
+func (t *Transfer) Done() bool { return t.done.Done() }
+
+// Network is the fluid-flow solver bound to one simulator.
+type Network struct {
+	sim   *sim.Simulator
+	flows []*Transfer
+	gen   uint64 // invalidates stale completion events
+}
+
+// NewNetwork returns an empty flow network on s.
+func NewNetwork(s *sim.Simulator) *Network {
+	return &Network{sim: s}
+}
+
+// ActiveFlows reports the number of in-flight transfers.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Start begins a transfer of the given size through the listed servers,
+// additionally capped at limit bytes/second (the mover's own speed; pass
+// math.Inf(1) for no private cap). It may be called from process or
+// scheduler context and returns immediately.
+func (n *Network) Start(bytes int64, limit float64, servers ...*Server) *Transfer {
+	if bytes < 0 {
+		panic("pcie: negative transfer size")
+	}
+	if limit <= 0 {
+		panic("pcie: non-positive flow limit")
+	}
+	t := &Transfer{
+		servers:   servers,
+		limit:     limit,
+		remaining: float64(bytes),
+		last:      n.sim.Now(),
+		done:      sim.NewCompletion("transfer"),
+	}
+	if bytes == 0 {
+		t.done.Complete()
+		return t
+	}
+	n.advance()
+	n.flows = append(n.flows, t)
+	n.reschedule()
+	return t
+}
+
+// Transfer runs a flow to completion, blocking the calling process.
+func (n *Network) Transfer(p *sim.Proc, bytes int64, limit float64, servers ...*Server) {
+	n.Start(bytes, limit, servers...).Wait(p)
+}
+
+// advance integrates every flow's progress up to now at its current rate
+// and completes flows that have drained.
+func (n *Network) advance() {
+	now := n.sim.Now()
+	live := n.flows[:0]
+	for _, f := range n.flows {
+		dt := now.Sub(f.last).Seconds()
+		f.remaining -= f.rate * dt
+		f.last = now
+		if f.remaining <= 0.5 { // sub-byte residue is float noise
+			f.remaining = 0
+			f.done.Complete()
+			continue
+		}
+		live = append(live, f)
+	}
+	// Clear the tail so completed flows are collectable.
+	for i := len(live); i < len(n.flows); i++ {
+		n.flows[i] = nil
+	}
+	n.flows = live
+}
+
+// solve computes the max-min fair rate for every active flow by
+// progressive filling: repeatedly find the most constrained server, fix
+// the rates of the flows crossing it at their fair share, remove that
+// capacity, and continue with the rest.
+func (n *Network) solve() {
+	for _, f := range n.flows {
+		f.frozen = false
+		f.rate = 0
+	}
+	type state struct {
+		residual float64
+		count    int
+	}
+	servers := make(map[*Server]*state)
+	for _, f := range n.flows {
+		for _, s := range f.servers {
+			st := servers[s]
+			if st == nil {
+				st = &state{residual: s.capacity}
+				servers[s] = st
+			}
+			st.count++
+		}
+	}
+	unfrozen := len(n.flows)
+	for unfrozen > 0 {
+		// The binding constraint is either a server's fair share or a
+		// flow's private limit, whichever is smallest.
+		share := math.Inf(1)
+		for _, st := range servers {
+			if st.count == 0 {
+				continue
+			}
+			if s := st.residual / float64(st.count); s < share {
+				share = s
+			}
+		}
+		for _, f := range n.flows {
+			if !f.frozen && f.limit < share {
+				share = f.limit
+			}
+		}
+		if math.IsInf(share, 1) || share <= 0 {
+			panic(fmt.Sprintf("pcie: solver stuck with %d unfrozen flows", unfrozen))
+		}
+		// Freeze every flow bound by this share: those whose limit is
+		// (approximately) the share, and those crossing a server whose
+		// fair share is (approximately) the share.
+		const tol = 1e-9
+		progressed := false
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			bound := f.limit <= share*(1+tol)
+			if !bound {
+				for _, s := range f.servers {
+					st := servers[s]
+					if st.residual/float64(st.count) <= share*(1+tol) {
+						bound = true
+						break
+					}
+				}
+			}
+			if !bound {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			unfrozen--
+			progressed = true
+			for _, s := range f.servers {
+				st := servers[s]
+				st.residual -= share
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.count--
+			}
+		}
+		if !progressed {
+			panic("pcie: solver made no progress")
+		}
+	}
+}
+
+// reschedule re-solves rates and schedules the next completion event.
+func (n *Network) reschedule() {
+	n.gen++
+	if len(n.flows) == 0 {
+		return
+	}
+	n.solve()
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			panic("pcie: active flow with zero rate")
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	gen := n.gen
+	n.sim.After(sim.Duration(math.Ceil(next*1e9)), func() {
+		if gen != n.gen {
+			return // a newer start/finish already re-solved
+		}
+		n.advance()
+		n.reschedule()
+	})
+}

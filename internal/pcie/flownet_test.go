@@ -1,0 +1,278 @@
+package pcie
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// within asserts |got-want| <= tol, with tol in virtual nanoseconds.
+func within(t *testing.T, what string, got, want sim.Time, tol sim.Duration) {
+	t.Helper()
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if sim.Duration(d) > tol {
+		t.Fatalf("%s: got %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestSingleFlowPrivateLimit(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 8e9)
+	var end sim.Time
+	s.Go("xfer", func(p *sim.Proc) {
+		n.Transfer(p, 1<<20, 1e9, srv)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 MiB at 1e9 B/s = 1048.576us.
+	within(t, "single flow", end, sim.Time(1048576), 100)
+}
+
+func TestSingleFlowServerLimit(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 0.5e9)
+	var end sim.Time
+	s.Go("xfer", func(p *sim.Proc) {
+		n.Transfer(p, 1<<20, math.Inf(1), srv)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "server-limited flow", end, sim.Time(2097152), 100)
+}
+
+func TestZeroByteTransferIsInstant(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	s.Go("xfer", func(p *sim.Proc) {
+		n.Transfer(p, 0, 1e9, srv)
+		if p.Now() != 0 {
+			t.Errorf("zero-byte transfer took time: %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	ends := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Go(fmt.Sprintf("xfer%d", i), func(p *sim.Proc) {
+			n.Transfer(p, 1<<20, math.Inf(1), srv)
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each gets 0.5e9: both finish at 2097.152us.
+	within(t, "flow 0", ends[0], sim.Time(2097152), 200)
+	within(t, "flow 1", ends[1], sim.Time(2097152), 200)
+}
+
+func TestAsymmetricLimits(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	var slowEnd, fastEnd sim.Time
+	s.Go("slow", func(p *sim.Proc) {
+		n.Transfer(p, 200_000, 0.2e9, srv) // always capped at 0.2e9
+		slowEnd = p.Now()
+	})
+	s.Go("fast", func(p *sim.Proc) {
+		n.Transfer(p, 800_000, math.Inf(1), srv) // gets the remaining 0.8e9
+		fastEnd = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "slow flow", slowEnd, sim.Time(1_000_000), 200)
+	within(t, "fast flow", fastEnd, sim.Time(1_000_000), 200)
+}
+
+func TestStaggeredJoinAndLeave(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	var aEnd, bEnd sim.Time
+	s.Go("a", func(p *sim.Proc) {
+		n.Transfer(p, 1<<20, math.Inf(1), srv)
+		aEnd = p.Now()
+	})
+	s.GoAfter("b", 500*sim.Microsecond, func(p *sim.Proc) {
+		n.Transfer(p, 1<<20, math.Inf(1), srv)
+		bEnd = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Worked example in the package tests: A alone for 500us (moves
+	// 500000 B), shares 0.5e9 until it drains at 1597.152us; B then
+	// finishes its last 500000 B at full rate at 2097.152us.
+	within(t, "flow A", aEnd, sim.Time(1597152), 300)
+	within(t, "flow B", bEnd, sim.Time(2097152), 300)
+}
+
+func TestMultiServerPath(t *testing.T) {
+	// A flow crossing three servers is bound by the slowest.
+	s := sim.New()
+	n := NewNetwork(s)
+	a := NewServer("src-rc", 5e9)
+	b := NewServer("wire", 2e9)
+	c := NewServer("dst-rc", 5e9)
+	var end sim.Time
+	s.Go("x", func(p *sim.Proc) {
+		n.Transfer(p, 2_000_000, math.Inf(1), a, b, c)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "path flow", end, sim.Time(1_000_000), 200)
+}
+
+func TestRingContentionScenario(t *testing.T) {
+	// The Fig 8 situation: three hosts, each host's root complex carries
+	// its outgoing and its incoming flow. Engines cap each flow at
+	// 2.9e9; root complexes at 5.5e9 shared by two flows → 2.75e9 each.
+	s := sim.New()
+	n := NewNetwork(s)
+	rc := make([]*Server, 3)
+	for i := range rc {
+		rc[i] = NewServer(fmt.Sprintf("rc%d", i), 5.5e9)
+	}
+	wire := make([]*Server, 3)
+	for i := range wire {
+		wire[i] = NewServer(fmt.Sprintf("wire%d", i), 7.2e9)
+	}
+	const bytes = 10 << 20
+	ends := make([]sim.Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		src, dst := i, (i+1)%3
+		s.Go(fmt.Sprintf("flow%d", i), func(p *sim.Proc) {
+			n.Transfer(p, bytes, 2.9e9, rc[src], wire[i], rc[dst])
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	byteCount := float64(bytes)
+	want := sim.Time(byteCount / 2.75e9 * 1e9)
+	for i, e := range ends {
+		within(t, fmt.Sprintf("ring flow %d", i), e, want, 1000)
+	}
+
+	// Sanity: the same flow alone runs at the full engine rate.
+	s2 := sim.New()
+	n2 := NewNetwork(s2)
+	rcA, rcB := NewServer("rcA", 5.5e9), NewServer("rcB", 5.5e9)
+	w := NewServer("w", 7.2e9)
+	var aloneEnd sim.Time
+	s2.Go("alone", func(p *sim.Proc) {
+		n2.Transfer(p, bytes, 2.9e9, rcA, w, rcB)
+		aloneEnd = p.Now()
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantAlone := sim.Time(byteCount / 2.9e9 * 1e9)
+	within(t, "independent flow", aloneEnd, wantAlone, 1000)
+	if aloneEnd >= ends[0] {
+		t.Fatal("independent transfer should beat ring transfer")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: for any set of flows through one server, the last
+	// completion time equals total bytes / capacity (work conservation),
+	// and no flow finishes before bytes/capacity of its own size.
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		s := sim.New()
+		n := NewNetwork(s)
+		srv := NewServer("wire", 1e9)
+		var total int64
+		var last sim.Time
+		for i, raw := range sizes {
+			sz := int64(raw)*64 + 64
+			total += sz
+			s.Go(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
+				n.Transfer(p, sz, math.Inf(1), srv)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		want := float64(total) / 1e9 * 1e9
+		return math.Abs(float64(last)-want) < float64(len(sizes))*1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveFlowsBookkeeping(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("w", 1e9)
+	s.Go("x", func(p *sim.Proc) {
+		tr := n.Start(1000, math.Inf(1), srv)
+		if n.ActiveFlows() != 1 {
+			t.Errorf("active = %d, want 1", n.ActiveFlows())
+		}
+		tr.Wait(p)
+		if !tr.Done() {
+			t.Error("transfer not done after Wait")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After the wait the completion event has fired and advanced flows.
+	if n.ActiveFlows() != 0 {
+		t.Errorf("active after drain = %d, want 0", n.ActiveFlows())
+	}
+}
+
+func TestStartPanicsOnBadArgs(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("w", 1e9)
+	assertPanics(t, "negative size", func() { n.Start(-1, 1e9, srv) })
+	assertPanics(t, "zero limit", func() { n.Start(10, 0, srv) })
+	assertPanics(t, "bad server", func() { NewServer("x", 0) })
+}
+
+func assertPanics(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,76 @@
+package pcie
+
+import "fmt"
+
+// Transaction-layer packet (TLP) accounting.
+//
+// The fluid-flow network prices transfers with an *effective* wire
+// bandwidth; this file derives that efficiency from first principles —
+// the same arithmetic the model.Params documentation cites — so tests
+// can pin the fluid model to the packet-level ground truth, and tools
+// can report how a transfer decomposes into packets.
+//
+// PCIe framing per TLP (Gen1-3, 32-bit addressing):
+//
+//	1 byte  STP framing
+//	2 bytes sequence number
+//	12 bytes memory-write header (3DW) or 16 bytes with 4DW addressing
+//	0-4096 bytes payload (bounded by MaxPayload)
+//	4 bytes LCRC
+//	1 byte  END framing
+//
+// plus data-link-layer traffic (ACK/NAK DLLPs, flow-control updates)
+// that consumes a few percent of the link in each direction.
+
+// TLPOverheadBytes is the per-packet framing cost for a 3DW memory
+// request: STP+seq (3) + header (12) + LCRC+END (5) = 20 bytes, plus a
+// 6-byte allowance for the DLLP traffic each packet induces. It matches
+// model.Params.TLPOverhead's default of 26.
+const TLPOverheadBytes = 26
+
+// MemWriteTLPs returns how many memory-write TLPs a payload of n bytes
+// needs under the given MaxPayload, and the total bytes on the wire
+// (payload + per-TLP overhead).
+func MemWriteTLPs(n, maxPayload int) (packets, wireBytes int) {
+	if maxPayload <= 0 {
+		panic(fmt.Sprintf("pcie: bad MaxPayload %d", maxPayload))
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	packets = (n + maxPayload - 1) / maxPayload
+	wireBytes = n + packets*TLPOverheadBytes
+	return packets, wireBytes
+}
+
+// PayloadEfficiency returns the fraction of wire bytes that are payload
+// for a bulk stream of maxPayload-sized memory writes. This is the exact
+// quantity model.Params.ProtocolEfficiency approximates, and the
+// TestFluidModelMatchesTLPAccounting test pins them together.
+func PayloadEfficiency(maxPayload int) float64 {
+	_, wire := MemWriteTLPs(maxPayload, maxPayload)
+	return float64(maxPayload) / float64(wire)
+}
+
+// ReadRoundTrip describes the packet cost of a single memory read: one
+// read-request TLP (no payload) out, one or more completion TLPs (with
+// data) back. Completions are split at the read-completion boundary,
+// which equals MaxPayload here.
+func ReadRoundTrip(n, maxPayload int) (requestBytes, completionBytes int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	requestBytes = TLPOverheadBytes + 0 // header-only request
+	packets := (n + maxPayload - 1) / maxPayload
+	completionBytes = n + packets*TLPOverheadBytes
+	return requestBytes, completionBytes
+}
+
+// CreditUnits returns the flow-control credits a payload consumes: PCIe
+// counts header credits per TLP and data credits in 16-byte units.
+func CreditUnits(n, maxPayload int) (headerCredits, dataCredits int) {
+	packets, _ := MemWriteTLPs(n, maxPayload)
+	headerCredits = packets
+	dataCredits = (n + 15) / 16
+	return headerCredits, dataCredits
+}

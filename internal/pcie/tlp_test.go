@@ -1,0 +1,107 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestMemWriteTLPSegmentation(t *testing.T) {
+	cases := []struct {
+		n, mp   int
+		packets int
+		wire    int
+	}{
+		{0, 256, 0, 0},
+		{1, 256, 1, 1 + 26},
+		{256, 256, 1, 256 + 26},
+		{257, 256, 2, 257 + 52},
+		{1024, 256, 4, 1024 + 104},
+		{1 << 20, 256, 4096, 1<<20 + 4096*26},
+	}
+	for _, c := range cases {
+		p, w := MemWriteTLPs(c.n, c.mp)
+		if p != c.packets || w != c.wire {
+			t.Errorf("MemWriteTLPs(%d, %d) = (%d, %d), want (%d, %d)",
+				c.n, c.mp, p, w, c.packets, c.wire)
+		}
+	}
+}
+
+func TestFluidModelMatchesTLPAccounting(t *testing.T) {
+	// The fluid network's protocol efficiency must equal the exact
+	// packet-level payload efficiency for full-size TLP streams.
+	par := model.Default()
+	fluid := par.ProtocolEfficiency()
+	exact := PayloadEfficiency(par.MaxPayload)
+	if math.Abs(fluid-exact) > 1e-12 {
+		t.Fatalf("fluid efficiency %v != TLP accounting %v", fluid, exact)
+	}
+	if par.TLPOverhead != TLPOverheadBytes {
+		t.Fatalf("model TLPOverhead %d disagrees with pcie accounting %d",
+			par.TLPOverhead, TLPOverheadBytes)
+	}
+}
+
+func TestReadRoundTripCosts(t *testing.T) {
+	req, comp := ReadRoundTrip(4, 256)
+	if req != TLPOverheadBytes {
+		t.Errorf("request bytes = %d", req)
+	}
+	if comp != 4+TLPOverheadBytes {
+		t.Errorf("completion bytes = %d", comp)
+	}
+	// Reads return less payload per wire byte than writes at small
+	// sizes — the asymmetry behind WindowReadBW << WindowWriteBW.
+	_, wWire := MemWriteTLPs(4, 256)
+	if req+comp <= wWire {
+		t.Error("read round trip should cost more wire than a posted write")
+	}
+	if r, c := ReadRoundTrip(0, 256); r != 0 || c != 0 {
+		t.Error("zero-byte read should be free")
+	}
+}
+
+func TestCreditUnits(t *testing.T) {
+	h, d := CreditUnits(256, 256)
+	if h != 1 || d != 16 {
+		t.Errorf("credits(256) = (%d, %d), want (1, 16)", h, d)
+	}
+	h, d = CreditUnits(1000, 256)
+	if h != 4 || d != 63 {
+		t.Errorf("credits(1000) = (%d, %d), want (4, 63)", h, d)
+	}
+}
+
+func TestTLPProperties(t *testing.T) {
+	// Properties: wire bytes ≥ payload; packets minimal; efficiency
+	// improves with MaxPayload.
+	f := func(rawN uint16, mpSel uint8) bool {
+		n := int(rawN)
+		mps := []int{128, 256, 512, 1024, 2048, 4096}
+		mp := mps[int(mpSel)%len(mps)]
+		p, w := MemWriteTLPs(n, mp)
+		if n == 0 {
+			return p == 0 && w == 0
+		}
+		if w < n || p != (n+mp-1)/mp {
+			return false
+		}
+		// Larger MaxPayload never needs more wire bytes.
+		if mp < 4096 {
+			_, w2 := MemWriteTLPs(n, mp*2)
+			if w2 > w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if PayloadEfficiency(512) <= PayloadEfficiency(128) {
+		t.Error("efficiency must grow with MaxPayload")
+	}
+}

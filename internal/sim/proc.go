@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Proc is a simulation process: a coroutine scheduled on virtual time.
+// A Proc's body runs in its own goroutine, but the kernel guarantees that
+// only one process executes at a time, so process code needs no locking
+// when touching simulation state.
+//
+// All blocking methods must be called from the process's own body.
+type Proc struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	dead   chan struct{} // closed when the goroutine exits
+
+	exited    bool
+	daemon    bool   // daemons may remain parked at end of simulation
+	blockedOn string // human-readable label for deadlock reports
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator this process belongs to.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// park hands control back to the scheduler until some event wakes this
+// process. Every park must be paired with exactly one wake.
+func (p *Proc) park(label string) {
+	if p.sim.killed {
+		// A deferred call running during teardown tried to block (for
+		// example a deferred symmetric Free sleeping for its software
+		// cost). The scheduler is gone; abort the call. The spawn
+		// wrapper swallows this, and per Go's recover-during-Goexit
+		// semantics the goroutine still terminates even if user code
+		// recovers it.
+		panic(errKilled)
+	}
+	p.blockedOn = label
+	p.sim.yielded <- struct{}{}
+	<-p.resume
+	if p.sim.killed {
+		// Shutdown is tearing the simulation down: terminate this
+		// goroutine, running user defers on the way out. Goexit (not a
+		// panic) so a recover in user code cannot intercept it.
+		runtime.Goexit()
+	}
+	p.blockedOn = ""
+}
+
+// wake schedules p to resume at the current virtual time. It must only be
+// used by kernel primitives that know p is parked and not yet woken.
+func (p *Proc) wake() {
+	p.sim.schedule(p.sim.now, func() { p.sim.dispatch(p) })
+}
+
+// wakeAfter schedules p to resume d from now.
+func (p *Proc) wakeAfter(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now.Add(d), func() { p.sim.dispatch(p) })
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d
+// yields the processor for one scheduling round (other events at the same
+// timestamp run first).
+func (p *Proc) Sleep(d Duration) {
+	p.wakeAfter(d)
+	p.park(fmt.Sprintf("sleep(%v)", d))
+}
+
+// Yield lets every other event already scheduled at the current instant
+// run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Simulator is a deterministic discrete-event scheduler.
+//
+// The zero value is not ready for use; call New. The scheduler itself runs
+// in the goroutine that calls Run; process goroutines run one at a time,
+// handing control back to the scheduler whenever they block on a kernel
+// primitive (Sleep, Queue.Pop, Resource.Acquire, Cond.Wait, ...).
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yielded carries control back from a running process to the
+	// scheduler. Exactly one process may be between resume and yield at
+	// any moment, so an unbuffered channel suffices.
+	yielded chan struct{}
+
+	procs    map[*Proc]struct{} // live (started, not exited) processes
+	nblocked int                // processes currently parked on a primitive
+
+	fatal   error // first panic captured from a process
+	running bool
+	killed  bool // Shutdown has released all process goroutines
+}
+
+// errKilled aborts a blocking call issued from a defer while Shutdown is
+// unwinding the goroutine.
+var errKilled = fmt.Errorf("sim: blocking call during Shutdown teardown")
+
+// New returns an empty simulator positioned at virtual time zero.
+func New() *Simulator {
+	return &Simulator{
+		yielded: make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// schedule enqueues fn to run at time t. Panics if t is in the past.
+func (s *Simulator) schedule(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, s.now))
+	}
+	s.seq++
+	s.events.push(event{t: t, seq: s.seq, fn: fn})
+}
+
+// After enqueues fn to run d from now. A negative d is treated as zero.
+// fn executes in scheduler context: it must not block on kernel
+// primitives; to run blocking code, have fn spawn or wake a process.
+func (s *Simulator) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now.Add(d), fn)
+}
+
+// Go spawns a new process executing body and schedules it to start now.
+// The name is used in deadlock reports and traces.
+func (s *Simulator) Go(name string, body func(p *Proc)) *Proc {
+	return s.GoAfter(name, 0, body)
+}
+
+// GoDaemon spawns a service process that is allowed to outlive the
+// workload: a simulation whose only remaining parked processes are
+// daemons is complete, not deadlocked. Use it for device engines and
+// interrupt dispatchers that loop forever.
+func (s *Simulator) GoDaemon(name string, body func(p *Proc)) *Proc {
+	p := s.GoAfter(name, 0, body)
+	p.daemon = true
+	return p
+}
+
+// GoAfter spawns a new process that starts d from now.
+func (s *Simulator) GoAfter(name string, d Duration, body func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	s.procs[p] = struct{}{}
+	go func() {
+		defer close(p.dead)
+		<-p.resume // wait for first dispatch
+		if s.killed {
+			return // released by Shutdown before ever starting
+		}
+		defer func() {
+			r := recover()
+			if s.killed {
+				// Shutdown is releasing this goroutine; the scheduler
+				// is not listening, so exit without the handshake.
+				return
+			}
+			if r != nil {
+				if s.fatal == nil {
+					if err, ok := r.(error); ok {
+						// Preserve typed panics (e.g. a runtime's
+						// global-exit) for errors.As at the caller.
+						s.fatal = fmt.Errorf("sim: process %q panicked: %w", p.name, err)
+					} else {
+						s.fatal = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+					}
+				}
+			}
+			p.exited = true
+			delete(s.procs, p)
+			s.yielded <- struct{}{}
+		}()
+		body(p)
+	}()
+	s.After(d, func() { s.dispatch(p) })
+	return p
+}
+
+// dispatch transfers control to p until it parks or exits. It must only be
+// called from scheduler context (inside an event callback).
+func (s *Simulator) dispatch(p *Proc) {
+	if p.exited {
+		return
+	}
+	p.resume <- struct{}{}
+	<-s.yielded
+}
+
+// Run executes events until the queue drains or a process panics.
+// It returns an error if a process panicked, or a deadlock error if
+// processes remain parked with no pending events. A simulation in which
+// all processes ran to completion returns nil.
+func (s *Simulator) Run() error {
+	return s.run(-1)
+}
+
+// RunUntil executes events with time ≤ deadline. Parked processes at the
+// deadline are not a deadlock; the clock simply stops advancing.
+func (s *Simulator) RunUntil(deadline Time) error {
+	return s.run(deadline)
+}
+
+func (s *Simulator) run(deadline Time) error {
+	if s.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for s.fatal == nil {
+		next := s.events.peek()
+		if next == nil {
+			break
+		}
+		if deadline >= 0 && next.t > deadline {
+			s.now = deadline
+			return nil
+		}
+		ev := s.events.pop()
+		s.now = ev.t
+		ev.fn()
+	}
+	if s.fatal != nil {
+		return s.fatal
+	}
+	if deadline < 0 && s.nondaemonProcs() > 0 {
+		return s.deadlockError()
+	}
+	return nil
+}
+
+func (s *Simulator) nondaemonProcs() int {
+	n := 0
+	for p := range s.procs {
+		if !p.daemon {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) deadlockError() error {
+	names := make([]string, 0, len(s.procs))
+	for p := range s.procs {
+		if p.daemon {
+			continue
+		}
+		names = append(names, fmt.Sprintf("%s (blocked on %s)", p.name, p.blockedOn))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at %v: %d process(es) parked with no pending events: %s",
+		s.now, len(names), strings.Join(names, ", "))
+}
+
+// LiveProcs reports the number of processes that have been spawned and have
+// not yet exited.
+func (s *Simulator) LiveProcs() int { return len(s.procs) }
+
+// Shutdown releases every parked process goroutine (daemons included) and
+// drops pending events, so a finished simulation's entire object graph —
+// window buffers, heaps, queues — becomes collectable. Harnesses that
+// build many simulators in one process (benchmarks, fuzzers) must call it
+// between instances or the parked goroutines pin their worlds' memory.
+// The simulator must not be running; after Shutdown it must not be used
+// except to read the clock.
+func (s *Simulator) Shutdown() {
+	if s.running {
+		panic("sim: Shutdown during Run")
+	}
+	if s.killed {
+		return
+	}
+	s.killed = true
+	for p := range s.procs {
+		if !p.exited {
+			// Sequential teardown: each goroutine fully unwinds (its
+			// user defers may touch state shared with sibling
+			// processes) before the next is released.
+			p.resume <- struct{}{}
+			<-p.dead
+		}
+	}
+	s.procs = make(map[*Proc]struct{})
+	s.events = eventHeap{}
+}

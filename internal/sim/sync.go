@@ -1,0 +1,238 @@
+package sim
+
+// This file provides virtual-time synchronisation primitives. They follow
+// the same discipline as the kernel: no real locking is needed because at
+// most one process executes at a time; blocking is expressed by parking the
+// calling process and waking it from a scheduled event.
+
+// Cond is a condition variable on virtual time. The usual pattern applies:
+//
+//	for !predicate() {
+//		cond.Wait(p)
+//	}
+//
+// Signal and Broadcast may be called from process or scheduler context.
+type Cond struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable labelled name for deadlock reports.
+func NewCond(name string) *Cond { return &Cond{name: name} }
+
+// Wait parks the calling process until a Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.name)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	w.wake()
+}
+
+// Broadcast wakes every currently waiting process.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		w.wake()
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiters reports how many processes are parked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Completion is a one-shot latch: processes that Wait before Complete is
+// called park until it fires; afterwards Wait returns immediately.
+// The zero value is an incomplete latch, usable once given a name via
+// NewCompletion (the name only affects diagnostics).
+type Completion struct {
+	name string
+	done bool
+	cond Cond
+}
+
+// NewCompletion returns an unfired latch labelled name.
+func NewCompletion(name string) *Completion {
+	return &Completion{name: name, cond: Cond{name: name}}
+}
+
+// Done reports whether the latch has fired.
+func (c *Completion) Done() bool { return c.done }
+
+// Complete fires the latch and wakes all waiters. Firing twice is a no-op.
+func (c *Completion) Complete() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.cond.Broadcast()
+}
+
+// Wait parks until the latch fires.
+func (c *Completion) Wait(p *Proc) {
+	for !c.done {
+		c.cond.Wait(p)
+	}
+}
+
+// queueWaiter is a parked consumer with a handoff slot.
+type queueWaiter[T any] struct {
+	p     *Proc
+	item  T
+	ready bool
+}
+
+// Queue is an unbounded FIFO channel in virtual time. Push never blocks;
+// Pop blocks until an item is available. Items are handed directly to the
+// longest-waiting consumer, so wake order is FIFO and no consumer can
+// starve.
+type Queue[T any] struct {
+	name    string
+	items   []T
+	waiters []*queueWaiter[T]
+}
+
+// NewQueue returns an empty queue labelled name.
+func NewQueue[T any](name string) *Queue[T] { return &Queue[T]{name: name} }
+
+// Len reports the number of buffered (not yet handed off) items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends an item, waking the longest-waiting consumer if present.
+// It is safe to call from scheduler context.
+func (q *Queue[T]) Push(item T) {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		w.item = item
+		w.ready = true
+		w.p.wake()
+		return
+	}
+	q.items = append(q.items, item)
+}
+
+// Pop removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	if len(q.items) > 0 {
+		item := q.items[0]
+		copy(q.items, q.items[1:])
+		var zero T
+		q.items[len(q.items)-1] = zero
+		q.items = q.items[:len(q.items)-1]
+		return item
+	}
+	w := &queueWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.park("queue " + q.name)
+	if !w.ready {
+		panic("sim: queue waiter woken without item: " + q.name)
+	}
+	return w.item
+}
+
+// TryPop removes and returns the oldest item without blocking. The second
+// result reports whether an item was available.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// resourceWaiter is a parked acquirer and the amount it needs.
+type resourceWaiter struct {
+	p       *Proc
+	n       int64
+	granted bool
+}
+
+// Resource is a FIFO-fair counting semaphore in virtual time. It models
+// finite facilities such as DMA engine descriptor slots or a link's
+// outstanding-transaction budget. Waiters are served strictly in arrival
+// order; a large request at the head blocks smaller later ones, which
+// preserves fairness and keeps timing deterministic.
+type Resource struct {
+	name     string
+	capacity int64
+	free     int64
+	waiters  []*resourceWaiter
+}
+
+// NewResource returns a resource with the given capacity, all free.
+func NewResource(name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{name: name, capacity: capacity, free: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// Free returns the currently available capacity.
+func (r *Resource) Free() int64 { return r.free }
+
+// Acquire blocks until n units are available and takes them. n must not
+// exceed the resource's capacity.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n > r.capacity {
+		panic("sim: acquire exceeds capacity of resource " + r.name)
+	}
+	if len(r.waiters) == 0 && r.free >= n {
+		r.free -= n
+		return
+	}
+	w := &resourceWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	p.park("resource " + r.name)
+	if !w.granted {
+		panic("sim: resource waiter woken without grant: " + r.name)
+	}
+}
+
+// Release returns n units and serves queued waiters in FIFO order.
+// It is safe to call from scheduler context.
+func (r *Resource) Release(n int64) {
+	r.free += n
+	if r.free > r.capacity {
+		panic("sim: release overflows capacity of resource " + r.name)
+	}
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if r.free < head.n {
+			return
+		}
+		r.free -= head.n
+		head.granted = true
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		head.p.wake()
+	}
+}
+
+// Mutex is a virtual-time mutual-exclusion lock with FIFO handoff.
+type Mutex struct{ r *Resource }
+
+// NewMutex returns an unlocked mutex labelled name.
+func NewMutex(name string) *Mutex { return &Mutex{r: NewResource(name, 1)} }
+
+// Lock blocks until the mutex is held by the caller.
+func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p, 1) }
+
+// Unlock releases the mutex, handing it to the longest waiter if any.
+func (m *Mutex) Unlock() { m.r.Release(1) }

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// OpRecorder aggregates application-level operation events from a
+// core.World (install with world.SetOpTrace(rec.OpHook())) into per-kind
+// statistics: the workload-facing complement to the device-level
+// Recorder.
+type OpRecorder struct {
+	events []core.OpEvent
+}
+
+// NewOpRecorder returns an empty operation recorder.
+func NewOpRecorder() *OpRecorder { return &OpRecorder{} }
+
+// OpHook returns the hook to install with World.SetOpTrace.
+func (r *OpRecorder) OpHook() func(core.OpEvent) {
+	return func(e core.OpEvent) { r.events = append(r.events, e) }
+}
+
+// Events returns the recorded operations in completion order.
+func (r *OpRecorder) Events() []core.OpEvent { return r.events }
+
+// Len reports the number of recorded operations.
+func (r *OpRecorder) Len() int { return len(r.events) }
+
+// OpSummary aggregates one operation kind.
+type OpSummary struct {
+	Op     string
+	Count  int64
+	Bytes  int64
+	Total  sim.Duration
+	Max    sim.Duration
+	MeanUS float64
+}
+
+// Summary aggregates per operation kind, sorted by kind.
+func (r *OpRecorder) Summary() []OpSummary {
+	agg := map[string]*OpSummary{}
+	for _, e := range r.events {
+		s := agg[e.Op]
+		if s == nil {
+			s = &OpSummary{Op: e.Op}
+			agg[e.Op] = s
+		}
+		s.Count++
+		s.Bytes += int64(e.Bytes)
+		s.Total += e.Dur
+		if e.Dur > s.Max {
+			s.Max = e.Dur
+		}
+	}
+	out := make([]OpSummary, 0, len(agg))
+	for _, s := range agg {
+		s.MeanUS = s.Total.Microseconds() / float64(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// Table renders the operation summary.
+func (r *OpRecorder) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %12s %12s %12s\n", "op", "count", "bytes", "mean(us)", "max(us)")
+	for _, s := range r.Summary() {
+		fmt.Fprintf(&b, "%-10s %8d %12d %12.2f %12.2f\n",
+			s.Op, s.Count, s.Bytes, s.MeanUS, s.Max.Microseconds())
+	}
+	return b.String()
+}

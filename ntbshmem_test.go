@@ -1,0 +1,172 @@
+package ntbshmem
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests exercise the public facade the way downstream users would —
+// purely through the repro package's exported surface.
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	var sawPEs int
+	err := Run(Config{Hosts: 3}, func(p *Proc, pe *PE) {
+		sawPEs++
+		vec := pe.MustMalloc(p, 4*8)
+		flag := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+
+		if pe.ID() == 0 {
+			Put(p, pe, 1, vec, []float64{1.5, 2.5, 3.5, 4.5})
+			pe.Fence(p)
+			PutScalar[int64](p, pe, 1, flag, 1)
+		}
+		if pe.ID() == 1 {
+			pe.WaitUntilInt64(p, flag, CmpEQ, 1)
+			got := make([]float64, 4)
+			LocalGet(p, pe, vec, got)
+			want := []float64{1.5, 2.5, 3.5, 4.5}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("vec[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		}
+		pe.BarrierAll(p)
+		pe.Finalize(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawPEs != 3 {
+		t.Fatalf("body ran on %d PEs", sawPEs)
+	}
+}
+
+func TestPublicReduceAndCollect(t *testing.T) {
+	sums := make([]int64, 4)
+	err := Run(Config{Hosts: 4}, func(p *Proc, pe *PE) {
+		src := pe.MustMalloc(p, 8)
+		dst := pe.MustMalloc(p, 8)
+		LocalPut(p, pe, src, []int64{int64(pe.ID() + 1)})
+		pe.BarrierAll(p)
+		Reduce[int64](p, pe, OpSum, dst, src, 1)
+		var out [1]int64
+		LocalGet(p, pe, dst, out[:])
+		sums[pe.ID()] = out[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range sums {
+		if s != 10 {
+			t.Errorf("pe %d sum = %d, want 10", id, s)
+		}
+	}
+}
+
+func TestPublicModesAndBarrierOptions(t *testing.T) {
+	for _, mode := range []Mode{ModeDMA, ModeCPU} {
+		for _, algo := range []BarrierAlgo{BarrierRing, BarrierCentral, BarrierDissemination} {
+			err := Run(Config{Hosts: 3, Mode: mode, Barrier: algo}, func(p *Proc, pe *PE) {
+				sym := pe.MustMalloc(p, 1024)
+				pe.BarrierAll(p)
+				if pe.ID() == 0 {
+					pe.PutBytes(p, 2, sym, make([]byte, 1024))
+				}
+				pe.BarrierAll(p)
+			})
+			if err != nil {
+				t.Fatalf("mode=%v algo=%v: %v", mode, algo, err)
+			}
+		}
+	}
+}
+
+func TestPublicParamsOverride(t *testing.T) {
+	par := DefaultParams()
+	par.Gen = 1 // a Gen1 x8 link is ~4x slower on the wire
+	job := NewJob(Config{Hosts: 2, Params: par})
+	var slow Duration
+	err := job.Run(func(p *Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 512<<10)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			start := p.Now()
+			pe.PutBytes(p, 1, sym, make([]byte, 512<<10))
+			slow = Duration(p.Now() - start)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fast Duration
+	err = Run(Config{Hosts: 2}, func(p *Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 512<<10)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			start := p.Now()
+			pe.PutBytes(p, 1, sym, make([]byte, 512<<10))
+			fast = Duration(p.Now() - start)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow <= fast {
+		t.Fatalf("Gen1 put (%v) should be slower than Gen3 put (%v)", slow, fast)
+	}
+	if job.Now() == 0 {
+		t.Error("job virtual clock did not advance")
+	}
+}
+
+func TestPublicAtomicsAndLocks(t *testing.T) {
+	var final int64
+	err := Run(Config{Hosts: 3}, func(p *Proc, pe *PE) {
+		ctr := pe.MustMalloc(p, 8)
+		lock := pe.MustMalloc(p, 8)
+		pe.BarrierAll(p)
+		for i := 0; i < 3; i++ {
+			pe.SetLock(p, lock)
+			v := pe.FetchInt64(p, 0, ctr)
+			pe.SetInt64(p, 0, ctr, v+1)
+			pe.ClearLock(p, lock)
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			final = GetScalar[int64](p, pe, 0, ctr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 9 {
+		t.Fatalf("locked read-modify-write lost updates: %d, want 9", final)
+	}
+}
+
+func TestPublicStridedOps(t *testing.T) {
+	err := Run(Config{Hosts: 2}, func(p *Proc, pe *PE) {
+		sym := pe.MustMalloc(p, 8*8)
+		if pe.ID() == 1 {
+			LocalPut(p, pe, sym, make([]float64, 8))
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			IPut(p, pe, 1, sym, []float64{math.Pi, math.E}, 4, 1, 2)
+			back := make([]float64, 2)
+			IGet(p, pe, 1, sym, back, 1, 4, 2)
+			if back[0] != math.Pi || back[1] != math.E {
+				t.Errorf("strided round trip = %v", back)
+			}
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
