@@ -1,0 +1,34 @@
+# Build/verify entry points. `make race` is the gate that matters most
+# since the experiment engine runs independent simulation worlds on
+# concurrent workers.
+
+GO ?= go
+
+.PHONY: all build test race vet bench reproduce clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that touch the parallel experiment engine:
+# the kernel, the runtime, and the harness that fans worlds out.
+race:
+	$(GO) test -race ./internal/sim ./internal/core ./internal/bench
+
+vet:
+	$(GO) vet ./...
+
+# Host-side simulator speed benchmarks (wall-clock, allocs/op).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSim|BenchmarkWorld' -benchmem ./internal/sim ./internal/core
+
+# Regenerate the archived experiment output.
+reproduce:
+	$(GO) run ./cmd/reproduce > reproduce_output.txt
+
+clean:
+	$(GO) clean ./...

@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	appbench [-hosts N] [-profile gen3x8] [-kernel heat1d|matmul|intsort|all]
+//	appbench [-hosts N] [-profile gen3x8] [-kernel heat1d|matmul|intsort|all] [-j N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/model"
@@ -25,7 +27,9 @@ func main() {
 	steps := flag.Int("steps", 50, "heat1d: time steps")
 	dim := flag.Int("dim", 64, "matmul: matrix dimension")
 	keys := flag.Int("keys", 40000, "intsort: keys per PE")
+	j := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
+	bench.SetParallelism(*j)
 
 	par, err := model.Profile(*profile)
 	if err != nil {
@@ -57,26 +61,42 @@ func main() {
 		}},
 	}
 
+	selected := kernels[:0]
+	for _, k := range kernels {
+		if *kernel == "all" || *kernel == k.name {
+			selected = append(selected, k)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "appbench: unknown kernel %q\n", *kernel)
+		os.Exit(1)
+	}
+
+	// Fan the (kernel, config) matrix across workers; each cell runs its
+	// own self-verifying world, results print in fixed order.
+	cfgs := bench.AppConfigs()
+	type cellKey struct{ ki, ci int }
+	var cellKeys []cellKey
+	for ki := range selected {
+		for ci := range cfgs {
+			cellKeys = append(cellKeys, cellKey{ki, ci})
+		}
+	}
+	vals := bench.RunPoints(context.Background(), bench.Parallelism(), cellKeys, func(k cellKey) float64 {
+		return selected[k.ki].run(cfgs[k.ci])
+	})
+
 	fmt.Printf("profile %s, %d hosts (every kernel self-verifies)\n\n", *profile, *hosts)
 	fmt.Printf("%-10s", "kernel")
-	for _, cfg := range bench.AppConfigs() {
+	for _, cfg := range cfgs {
 		fmt.Printf(" %22s", cfg.Name)
 	}
 	fmt.Println(" (virtual us)")
-	ran := 0
-	for _, k := range kernels {
-		if *kernel != "all" && *kernel != k.name {
-			continue
-		}
-		ran++
+	for ki, k := range selected {
 		fmt.Printf("%-10s", k.name)
-		for _, cfg := range bench.AppConfigs() {
-			fmt.Printf(" %22.1f", k.run(cfg))
+		for ci := range cfgs {
+			fmt.Printf(" %22.1f", vals[ki*len(cfgs)+ci])
 		}
 		fmt.Println()
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "appbench: unknown kernel %q\n", *kernel)
-		os.Exit(1)
 	}
 }

@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	barrierperf [-ablation] [-csv]
+//	barrierperf [-ablation] [-csv] [-j N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/model"
@@ -18,7 +19,9 @@ import (
 func main() {
 	ablation := flag.Bool("ablation", false, "run the barrier-algorithm ablation instead of Fig 10")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	j := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
+	bench.SetParallelism(*j)
 
 	par := model.Default()
 	var f *bench.Figure

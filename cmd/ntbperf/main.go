@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	ntbperf [-hosts N] [-gen G] [-lanes L] [-csv]
+//	ntbperf [-hosts N] [-gen G] [-lanes L] [-csv] [-j N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/model"
@@ -22,7 +24,9 @@ func main() {
 	gen := flag.Int("gen", 3, "PCIe generation (1-3)")
 	lanes := flag.Int("lanes", 8, "PCIe lane count")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	j := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
+	bench.SetParallelism(*j)
 
 	par := model.Default()
 	par.Gen, par.Lanes = *gen, *lanes
@@ -55,11 +59,21 @@ func customRing(par *model.Params, n int) *bench.Figure {
 	for i := range perLink {
 		perLink[i].Label = fmt.Sprintf("Link %d", i)
 	}
-	for _, size := range bench.Sizes() {
-		indep.Points = append(indep.Points, bench.Point{Size: size, Value: bench.Fig8Independent(par, 0, size)})
-		rates := bench.Fig8Ring(par, n, size)
+	type cell struct {
+		indep float64
+		rates []float64
+	}
+	sizes := bench.Sizes()
+	cells := bench.RunPoints(context.Background(), bench.Parallelism(), sizes, func(size int) cell {
+		return cell{
+			indep: bench.Fig8Independent(par, 0, size),
+			rates: bench.Fig8Ring(par, n, size),
+		}
+	})
+	for si, size := range sizes {
+		indep.Points = append(indep.Points, bench.Point{Size: size, Value: cells[si].indep})
 		var sum float64
-		for i, r := range rates {
+		for i, r := range cells[si].rates {
 			perLink[i].Points = append(perLink[i].Points, bench.Point{Size: size, Value: r})
 			sum += r
 		}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	reproduce [-skip-ablations] [-csv]
+//	reproduce [-skip-ablations] [-csv] [-j N]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,7 +25,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	outdir := flag.String("outdir", "", "also write one CSV file per figure into this directory")
 	paramsFile := flag.String("params", "", "JSON platform profile overlaying the default (see model.SaveParams)")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
+	bench.SetParallelism(*par)
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -32,10 +35,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	par := model.Default()
+	mp := model.Default()
 	if *paramsFile != "" {
 		var err error
-		if par, err = model.LoadParams(*paramsFile); err != nil {
+		if mp, err = model.LoadParams(*paramsFile); err != nil {
 			fmt.Fprintln(os.Stderr, "reproduce:", err)
 			os.Exit(1)
 		}
@@ -59,31 +62,45 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("platform profile: PCIe Gen%d x%d, wire %.2f GB/s, DMA engine %.2f GB/s\n\n",
-		par.Gen, par.Lanes, par.EffectiveWireBW()/1e9, par.DMAEngineBW/1e9)
+	fmt.Printf("platform profile: PCIe Gen%d x%d, wire %.2f GB/s, DMA engine %.2f GB/s\n",
+		mp.Gen, mp.Lanes, mp.EffectiveWireBW()/1e9, mp.DMAEngineBW/1e9)
+	fmt.Printf("parallel runner: %d workers (independent worlds only; virtual time is unaffected)\n\n",
+		bench.Parallelism())
 
-	for _, f := range bench.RunFig8(par) {
-		emit(f)
+	// timed produces one figure group, emits it, and reports the group's
+	// wall-clock cost so parallel-runner speedups are visible in the
+	// archived output.
+	timed := func(name string, produce func() []*bench.Figure) []*bench.Figure {
+		t0 := time.Now()
+		figs := produce()
+		elapsed := time.Since(t0)
+		for _, f := range figs {
+			emit(f)
+		}
+		fmt.Printf("[%s: %.2fs wall]\n\n", name, elapsed.Seconds())
+		return figs
 	}
-	fig9 := bench.RunFig9(par)
-	for _, f := range fig9 {
-		emit(f)
+	one := func(f func() *bench.Figure) func() []*bench.Figure {
+		return func() []*bench.Figure { return []*bench.Figure{f()} }
 	}
-	emit(bench.RunFig10(par))
+
+	timed("Fig 8", func() []*bench.Figure { return bench.RunFig8(mp) })
+	fig9 := timed("Fig 9", func() []*bench.Figure { return bench.RunFig9(mp) })
+	timed("Fig 10", one(func() *bench.Figure { return bench.RunFig10(mp) }))
 
 	if !*skipAblations {
-		emit(bench.RunAblationBarrierAlgo(par))
-		emit(bench.RunAblationGetChunk(par))
-		emit(bench.RunAblationRingSize(par))
-		emit(bench.RunAblationRouting(par))
-		emit(bench.RunAblationBroadcast(par))
-		emit(bench.RunAblationPipeline(par))
-		emit(bench.RunAblationWakeCost(par))
-		emit(bench.RunGenerationComparison())
-		emit(bench.RunTwoSidedComparison(par))
-		emit(bench.RunAppKernels(par))
-		emit(bench.RunCollectiveLatency(par))
-		fmt.Println(bench.RunBreakdown(par))
+		timed("A1", one(func() *bench.Figure { return bench.RunAblationBarrierAlgo(mp) }))
+		timed("A2", one(func() *bench.Figure { return bench.RunAblationGetChunk(mp) }))
+		timed("A3", one(func() *bench.Figure { return bench.RunAblationRingSize(mp) }))
+		timed("A4", one(func() *bench.Figure { return bench.RunAblationRouting(mp) }))
+		timed("A5", one(func() *bench.Figure { return bench.RunAblationBroadcast(mp) }))
+		timed("A6", one(func() *bench.Figure { return bench.RunAblationPipeline(mp) }))
+		timed("A7", one(func() *bench.Figure { return bench.RunAblationWakeCost(mp) }))
+		timed("E1", one(bench.RunGenerationComparison))
+		timed("E2", one(func() *bench.Figure { return bench.RunTwoSidedComparison(mp) }))
+		timed("E3", one(func() *bench.Figure { return bench.RunAppKernels(mp) }))
+		timed("E5", one(func() *bench.Figure { return bench.RunCollectiveLatency(mp) }))
+		fmt.Println(bench.RunBreakdown(mp))
 	}
 
 	if bad := bench.CheckFig9Shapes(fig9); len(bad) != 0 {
@@ -94,6 +111,9 @@ func main() {
 	} else {
 		fmt.Println("paper-shape checks: all passed")
 	}
-	fmt.Printf("(wall time %.1fs; all reported numbers are virtual-time measurements)\n",
-		time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	worlds := bench.WorldsSimulated()
+	fmt.Printf("simulated %d worlds in %.1f s (%.1f worlds/s, par=%d)\n",
+		worlds, elapsed, float64(worlds)/elapsed, bench.Parallelism())
+	fmt.Println("(all reported numbers are virtual-time measurements; wall times above are host-side cost)")
 }

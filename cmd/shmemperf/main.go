@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	shmemperf [-op put|get|both] [-metric latency|throughput|both] [-csv]
+//	shmemperf [-op put|get|both] [-metric latency|throughput|both] [-csv] [-j N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
@@ -22,7 +23,9 @@ func main() {
 	metric := flag.String("metric", "both", "metric to report: latency, throughput or both")
 	profile := flag.String("profile", "gen3x8", "platform profile (see model.Names)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	j := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
+	bench.SetParallelism(*j)
 
 	par, err := model.Profile(*profile)
 	if err != nil {

@@ -3,7 +3,6 @@ package bench
 import (
 	"repro/internal/core"
 	"repro/internal/driver"
-	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -20,11 +19,8 @@ import (
 // MeasureBarrierLatency returns the mean barrier latency (us) for a ring
 // of n hosts under the given algorithm.
 func MeasureBarrierLatency(par *model.Params, algo core.BarrierAlgo, n, reps int) float64 {
-	s := sim.New()
-	c := fabric.NewRing(s, par, n)
-	w := core.NewWorld(c, core.Options{Barrier: algo})
 	var total sim.Duration
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, n, core.Options{Barrier: algo}, func(p *sim.Proc, pe *core.PE) {
 		pe.BarrierAll(p)
 		for r := 0; r < reps; r++ {
 			start := p.Now()
@@ -34,9 +30,6 @@ func MeasureBarrierLatency(par *model.Params, algo core.BarrierAlgo, n, reps int
 			}
 		}
 	})
-	if err != nil {
-		panic(err)
-	}
 	return total.Microseconds() / float64(reps)
 }
 
@@ -49,11 +42,23 @@ func RunAblationBarrierAlgo(par *model.Params) *Figure {
 		Unit:   "us",
 	}
 	algos := []core.BarrierAlgo{core.BarrierRing, core.BarrierCentral, core.BarrierDissemination}
+	type cellKey struct {
+		algo core.BarrierAlgo
+		n    int
+	}
+	var keys []cellKey
 	for _, algo := range algos {
-		series := Series{Label: algo.String()}
 		for n := 2; n <= 8; n++ {
-			series.Points = append(series.Points,
-				Point{n, MeasureBarrierLatency(par, algo, n, 10)})
+			keys = append(keys, cellKey{algo, n})
+		}
+	}
+	vals := runPoints(keys, func(k cellKey) float64 {
+		return MeasureBarrierLatency(par, k.algo, k.n, 10)
+	})
+	for ai, algo := range algos {
+		series := Series{Label: algo.String(), Points: make([]Point, 0, 7)}
+		for ni := 0; ni < 7; ni++ {
+			series.Points = append(series.Points, Point{ni + 2, vals[ai*7+ni]})
 		}
 		f.Series = append(f.Series, series)
 	}
@@ -71,11 +76,17 @@ func RunAblationGetChunk(par *model.Params) *Figure {
 	}
 	series := Series{Label: "Get 512KB"}
 	const size = 512 << 10
+	var chunks []int
 	for chunk := 2 << 10; chunk <= 256<<10; chunk <<= 1 {
+		chunks = append(chunks, chunk)
+	}
+	vals := runPoints(chunks, func(chunk int) float64 {
 		p2 := par.Clone()
 		p2.GetChunk = chunk
-		lat := MeasureShmemOp(p2, OpGet, driver.ModeDMA, 1, size, 5)
-		series.Points = append(series.Points, Point{chunk, MBps(size, int64(lat*1e3))})
+		return MeasureShmemOp(p2, OpGet, driver.ModeDMA, 1, size, 5)
+	})
+	for i, chunk := range chunks {
+		series.Points = append(series.Points, Point{chunk, MBps(size, int64(vals[i]*1e3))})
 	}
 	f.Series = append(f.Series, series)
 	return f
@@ -94,10 +105,15 @@ func RunAblationRingSize(par *model.Params) *Figure {
 	put := Series{Label: "put"}
 	get := Series{Label: "get"}
 	const size = 64 << 10
-	for n := 2; n <= 8; n++ {
+	ns := []int{2, 3, 4, 5, 6, 7, 8}
+	type pg struct{ put, get float64 }
+	vals := runPoints(ns, func(n int) pg {
 		pl, gl := MeasureFarthest(par, n, size)
-		put.Points = append(put.Points, Point{n, pl})
-		get.Points = append(get.Points, Point{n, gl})
+		return pg{pl, gl}
+	})
+	for i, n := range ns {
+		put.Points = append(put.Points, Point{n, vals[i].put})
+		get.Points = append(get.Points, Point{n, vals[i].get})
 	}
 	f.Series = append(f.Series, put, get)
 	return f
@@ -118,18 +134,27 @@ func RunGenerationComparison() *Figure {
 	put := Series{Label: "shmem put"}
 	get := Series{Label: "shmem get"}
 	const size = 512 << 10
-	for i, name := range model.Names() {
-		f.XNames[i+1] = name
+	names := model.Names()
+	type cell struct{ raw, putMBps, getMBps float64 }
+	cells := runPoints(names, func(name string) cell {
 		par, err := model.Profile(name)
 		if err != nil {
 			panic(err)
 		}
-		x := i + 1 // ordinal; the table prints names separately
-		raw.Points = append(raw.Points, Point{x, Fig8Independent(par, 0, size)})
 		pl := MeasureShmemOp(par, OpPut, driver.ModeDMA, 1, size, 5)
 		gl := MeasureShmemOp(par, OpGet, driver.ModeDMA, 1, size, 5)
-		put.Points = append(put.Points, Point{x, MBps(size, int64(pl*1e3))})
-		get.Points = append(get.Points, Point{x, MBps(size, int64(gl*1e3))})
+		return cell{
+			raw:     Fig8Independent(par, 0, size),
+			putMBps: MBps(size, int64(pl*1e3)),
+			getMBps: MBps(size, int64(gl*1e3)),
+		}
+	})
+	for i, name := range names {
+		f.XNames[i+1] = name
+		x := i + 1 // ordinal; the table prints names separately
+		raw.Points = append(raw.Points, Point{x, cells[i].raw})
+		put.Points = append(put.Points, Point{x, cells[i].putMBps})
+		get.Points = append(get.Points, Point{x, cells[i].getMBps})
 	}
 	f.Series = append(f.Series, raw, put, get)
 	return f
@@ -151,10 +176,18 @@ func RunAblationBroadcast(par *model.Params) *Figure {
 	// payloads favour the transport's native store-and-forward fanout
 	// (relays run on hot service threads), large ones the pipeline
 	// (payload crosses the root's link once instead of n-1 times).
+	var sizes []int
 	for size := 16 << 10; size <= 8<<20; size <<= 1 {
+		sizes = append(sizes, size)
+	}
+	type lp struct{ linear, pipe float64 }
+	vals := runPoints(sizes, func(size int) lp {
 		l, pl := MeasureBroadcast(par, 6, size)
-		linear.Points = append(linear.Points, Point{size, l})
-		pipe.Points = append(pipe.Points, Point{size, pl})
+		return lp{l, pl}
+	})
+	for i, size := range sizes {
+		linear.Points = append(linear.Points, Point{size, vals[i].linear})
+		pipe.Points = append(pipe.Points, Point{size, vals[i].pipe})
 	}
 	f.Series = append(f.Series, linear, pipe)
 	return f
@@ -165,11 +198,8 @@ func RunAblationBroadcast(par *model.Params) *Figure {
 // root from call to collective completion.
 func MeasureBroadcast(par *model.Params, n, size int) (linearUS, pipeUS float64) {
 	run := func(pipelined bool) float64 {
-		s := sim.New()
-		c := fabric.NewRing(s, par, n)
-		w := core.NewWorld(c, core.Options{})
 		var us float64
-		err := w.Run(func(p *sim.Proc, pe *core.PE) {
+		runRingWorld(par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 			sym := pe.MustMalloc(p, size)
 			pe.BarrierAll(p)
 			start := p.Now()
@@ -182,9 +212,6 @@ func MeasureBroadcast(par *model.Params, n, size int) (linearUS, pipeUS float64)
 				us = p.Now().Sub(start).Microseconds()
 			}
 		})
-		if err != nil {
-			panic(err)
-		}
 		return us
 	}
 	return run(false), run(true)
@@ -206,10 +233,13 @@ func RunCollectiveLatency(par *model.Params) *Figure {
 	for i, k := range kinds {
 		series[i].Label = k
 	}
-	for n := 2; n <= 8; n++ {
-		lat := MeasureCollectives(par, n, 8<<10)
+	ns := []int{2, 3, 4, 5, 6, 7, 8}
+	lats := runPoints(ns, func(n int) map[string]float64 {
+		return MeasureCollectives(par, n, 8<<10)
+	})
+	for ni, n := range ns {
 		for i, k := range kinds {
-			series[i].Points = append(series[i].Points, Point{n, lat[k]})
+			series[i].Points = append(series[i].Points, Point{n, lats[ni][k]})
 		}
 	}
 	f.Series = append(f.Series, series...)
@@ -219,12 +249,9 @@ func RunCollectiveLatency(par *model.Params) *Figure {
 // MeasureCollectives returns per-collective mean latencies (us) on an
 // n-host ring with `size`-byte contributions.
 func MeasureCollectives(par *model.Params, n, size int) map[string]float64 {
-	s := sim.New()
-	c := fabric.NewRing(s, par, n)
-	w := core.NewWorld(c, core.Options{})
 	out := map[string]float64{}
 	elems := size / 8
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 		src := pe.MustMalloc(p, size)
 		dst := pe.MustMalloc(p, size*n)
 		pe.BarrierAll(p)
@@ -247,9 +274,6 @@ func MeasureCollectives(par *model.Params, n, size int) map[string]float64 {
 		})
 		measure("broadcast", func() { pe.BroadcastBytes(p, 0, src, size) })
 	})
-	if err != nil {
-		panic(err)
-	}
 	return out
 }
 
@@ -270,12 +294,21 @@ func RunAblationWakeCost(par *model.Params) *Figure {
 	get := Series{Label: "get 512KB"}
 	barrier := Series{Label: "barrier"}
 	const size = 512 << 10
-	for _, wakeUS := range []int{10, 35, 70, 140, 280} {
+	wakes := []int{10, 35, 70, 140, 280}
+	type cell struct{ put, get, barrier float64 }
+	cells := runPoints(wakes, func(wakeUS int) cell {
 		p2 := par.Clone()
 		p2.ServiceWake = sim.Microseconds(float64(wakeUS))
-		put.Points = append(put.Points, Point{wakeUS, MeasureShmemOp(p2, OpPut, driver.ModeDMA, 1, size, 5)})
-		get.Points = append(get.Points, Point{wakeUS, MeasureShmemOp(p2, OpGet, driver.ModeDMA, 1, size, 5)})
-		barrier.Points = append(barrier.Points, Point{wakeUS, MeasureBarrierLatency(p2, core.BarrierRing, 3, 5)})
+		return cell{
+			put:     MeasureShmemOp(p2, OpPut, driver.ModeDMA, 1, size, 5),
+			get:     MeasureShmemOp(p2, OpGet, driver.ModeDMA, 1, size, 5),
+			barrier: MeasureBarrierLatency(p2, core.BarrierRing, 3, 5),
+		}
+	})
+	for i, wakeUS := range wakes {
+		put.Points = append(put.Points, Point{wakeUS, cells[i].put})
+		get.Points = append(get.Points, Point{wakeUS, cells[i].get})
+		barrier.Points = append(barrier.Points, Point{wakeUS, cells[i].barrier})
 	}
 	f.Series = append(f.Series, put, get, barrier)
 	return f
@@ -296,10 +329,15 @@ func RunAblationPipeline(par *model.Params) *Figure {
 	put := Series{Label: "put"}
 	get := Series{Label: "get"}
 	const size = 512 << 10
-	for _, depth := range []int{1, 2, 4, 8} {
+	depths := []int{1, 2, 4, 8}
+	type pg struct{ put, get float64 }
+	vals := runPoints(depths, func(depth int) pg {
 		pl, gl := MeasurePipelined(par, depth, size, 5)
-		put.Points = append(put.Points, Point{depth, MBps(size, int64(pl*1e3))})
-		get.Points = append(get.Points, Point{depth, MBps(size, int64(gl*1e3))})
+		return pg{pl, gl}
+	})
+	for i, depth := range depths {
+		put.Points = append(put.Points, Point{depth, MBps(size, int64(vals[i].put*1e3))})
+		get.Points = append(get.Points, Point{depth, MBps(size, int64(vals[i].get*1e3))})
 	}
 	f.Series = append(f.Series, put, get)
 	return f
@@ -312,10 +350,7 @@ func MeasurePipelined(par *model.Params, depth, size, reps int) (putUS, getUS fl
 	if depth >= 2 {
 		opt.Pipeline = depth
 	}
-	s := sim.New()
-	c := fabric.NewRing(s, par, 3)
-	w := core.NewWorld(c, opt)
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, 3, opt, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -340,9 +375,6 @@ func MeasurePipelined(par *model.Params, depth, size, reps int) (putUS, getUS fl
 		}
 		pe.BarrierAll(p)
 	})
-	if err != nil {
-		panic(err)
-	}
 	return putUS, getUS
 }
 
@@ -359,10 +391,15 @@ func RunTwoSidedComparison(par *model.Params) *Figure {
 	}
 	put := Series{Label: "shmem put"}
 	send := Series{Label: "send/recv"}
-	for _, size := range Sizes() {
+	sizes := Sizes()
+	type ps struct{ put, send float64 }
+	vals := runPoints(sizes, func(size int) ps {
 		pl, sl := MeasureTwoSided(par, size, 5)
-		put.Points = append(put.Points, Point{size, pl})
-		send.Points = append(send.Points, Point{size, sl})
+		return ps{pl, sl}
+	})
+	for i, size := range sizes {
+		put.Points = append(put.Points, Point{size, vals[i].put})
+		send.Points = append(send.Points, Point{size, vals[i].send})
 	}
 	f.Series = append(f.Series, put, send)
 	return f
@@ -371,10 +408,7 @@ func RunTwoSidedComparison(par *model.Params) *Figure {
 // MeasureTwoSided returns (put, send) mean latencies in microseconds for
 // one-hop transfers of the given size.
 func MeasureTwoSided(par *model.Params, size, reps int) (putUS, sendUS float64) {
-	s := sim.New()
-	c := fabric.NewRing(s, par, 3)
-	w := core.NewWorld(c, core.Options{})
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, 3, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		data := make([]byte, size)
 		pe.BarrierAll(p)
@@ -401,9 +435,6 @@ func MeasureTwoSided(par *model.Params, size, reps int) (putUS, sendUS float64) 
 		}
 		pe.BarrierAll(p)
 	})
-	if err != nil {
-		panic(err)
-	}
 	return putUS, sendUS
 }
 
@@ -420,11 +451,24 @@ func RunAblationRouting(par *model.Params) *Figure {
 	}
 	const n = 7
 	const size = 64 << 10
-	for _, routing := range []core.Routing{core.RouteRightward, core.RouteShortest} {
-		series := Series{Label: routing.String()}
+	routings := []core.Routing{core.RouteRightward, core.RouteShortest}
+	type cellKey struct {
+		routing core.Routing
+		dst     int
+	}
+	var keys []cellKey
+	for _, routing := range routings {
 		for dst := 1; dst < n; dst++ {
-			series.Points = append(series.Points,
-				Point{dst, MeasureGetRouted(par, routing, n, dst, size)})
+			keys = append(keys, cellKey{routing, dst})
+		}
+	}
+	vals := runPoints(keys, func(k cellKey) float64 {
+		return MeasureGetRouted(par, k.routing, n, k.dst, size)
+	})
+	for ri, routing := range routings {
+		series := Series{Label: routing.String(), Points: make([]Point, 0, n-1)}
+		for di := 0; di < n-1; di++ {
+			series.Points = append(series.Points, Point{di + 1, vals[ri*(n-1)+di]})
 		}
 		f.Series = append(f.Series, series)
 	}
@@ -434,11 +478,8 @@ func RunAblationRouting(par *model.Params) *Figure {
 // MeasureGetRouted measures mean get latency (us) from PE 0 to dst on an
 // n-host ring under the given routing policy.
 func MeasureGetRouted(par *model.Params, routing core.Routing, n, dst, size int) float64 {
-	s := sim.New()
-	c := fabric.NewRing(s, par, n)
-	w := core.NewWorld(c, core.Options{Routing: routing})
 	var us float64
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, n, core.Options{Routing: routing}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -451,19 +492,13 @@ func MeasureGetRouted(par *model.Params, routing core.Routing, n, dst, size int)
 		}
 		pe.BarrierAll(p)
 	})
-	if err != nil {
-		panic(err)
-	}
 	return us
 }
 
 // MeasureFarthest measures put and get latency (us) from PE 0 to the
 // farthest PE of an n-host ring at the given size (5-rep averages).
 func MeasureFarthest(par *model.Params, n, size int) (putUS, getUS float64) {
-	s := sim.New()
-	c := fabric.NewRing(s, par, n)
-	w := core.NewWorld(c, core.Options{})
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -485,8 +520,5 @@ func MeasureFarthest(par *model.Params, n, size int) (putUS, getUS float64) {
 		}
 		pe.BarrierAll(p)
 	})
-	if err != nil {
-		panic(err)
-	}
 	return putUS, getUS
 }

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
-	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -38,11 +37,8 @@ func AppConfigs() []AppConfig {
 // runApp executes body on a fresh n-host ring and returns the virtual
 // time from the post-init barrier to job completion, in microseconds.
 func runApp(par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) float64 {
-	s := sim.New()
-	c := fabric.NewRing(s, par, n)
-	w := core.NewWorld(c, opts)
 	var start, end sim.Time
-	w.Launch(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, n, opts, func(p *sim.Proc, pe *core.PE) {
 		pe.BarrierAll(p)
 		if pe.ID() == 0 {
 			start = p.Now()
@@ -53,10 +49,6 @@ func runApp(par *model.Params, n int, opts core.Options, body func(p *sim.Proc, 
 			end = p.Now()
 		}
 	})
-	if err := s.Run(); err != nil {
-		panic(err)
-	}
-	s.Shutdown()
 	return end.Sub(start).Microseconds()
 }
 
@@ -270,13 +262,27 @@ func RunAppKernels(par *model.Params) *Figure {
 		Unit:   "us",
 		XNames: map[int]string{1: "heat1d", 2: "matmul", 3: "intsort"},
 	}
-	for _, cfg := range AppConfigs() {
-		series := Series{Label: cfg.Name}
-		series.Points = append(series.Points,
-			Point{1, AppHeat1D(par, cfg.Opts, 4, 2048, 50)},
-			Point{2, AppMatmul(par, cfg.Opts, 4, 64)},
-			Point{3, AppIntSort(par, cfg.Opts, 4, 40_000)},
-		)
+	cfgs := AppConfigs()
+	kernels := []func(cfg AppConfig) float64{
+		func(cfg AppConfig) float64 { return AppHeat1D(par, cfg.Opts, 4, 2048, 50) },
+		func(cfg AppConfig) float64 { return AppMatmul(par, cfg.Opts, 4, 64) },
+		func(cfg AppConfig) float64 { return AppIntSort(par, cfg.Opts, 4, 40_000) },
+	}
+	type cellKey struct{ ci, ki int }
+	var keys []cellKey
+	for ci := range cfgs {
+		for ki := range kernels {
+			keys = append(keys, cellKey{ci, ki})
+		}
+	}
+	vals := runPoints(keys, func(k cellKey) float64 {
+		return kernels[k.ki](cfgs[k.ci])
+	})
+	for ci, cfg := range cfgs {
+		series := Series{Label: cfg.Name, Points: make([]Point, 0, len(kernels))}
+		for ki := range kernels {
+			series.Points = append(series.Points, Point{ki + 1, vals[ci*len(kernels)+ki]})
+		}
 		f.Series = append(f.Series, series)
 	}
 	return f

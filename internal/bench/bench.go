@@ -7,13 +7,14 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
 // Sizes returns the paper's request-size sweep: 1 KiB to 512 KiB in
 // powers of two.
 func Sizes() []int {
-	var out []int
+	out := make([]int, 0, 10)
 	for s := 1 << 10; s <= 512<<10; s <<= 1 {
 		out = append(out, s)
 	}
@@ -56,22 +57,32 @@ type Figure struct {
 	Series []Series
 }
 
+// sizeAxis reports whether the figure's sweep axis is byte-size-like;
+// hoisted out of the per-row loops so rendering does not re-lowercase
+// the axis label for every row.
+func (f *Figure) sizeAxis() bool {
+	return strings.Contains(strings.ToLower(f.XLabel), "size")
+}
+
 // xLabel formats a sweep value; size-like sweeps use KB/MB labels, and
 // XNames overrides everything.
-func (f *Figure) xLabel(v int) string {
+func (f *Figure) xLabel(v int, sizeAxis bool) string {
 	if name, ok := f.XNames[v]; ok {
 		return name
 	}
-	if strings.Contains(strings.ToLower(f.XLabel), "size") {
+	if sizeAxis {
 		return SizeLabel(v)
 	}
-	return fmt.Sprintf("%d", v)
+	return strconv.Itoa(v)
 }
 
 // Table renders the figure as an aligned text table, one row per sweep
 // value and one column per series — the form EXPERIMENTS.md embeds.
 func (f *Figure) Table() string {
 	var b strings.Builder
+	if len(f.Series) > 0 {
+		b.Grow((len(f.Series[0].Points) + 2) * (11 + 17*len(f.Series)))
+	}
 	fmt.Fprintf(&b, "%s — %s (%s)\n", f.ID, f.Title, f.Unit)
 	// Header.
 	fmt.Fprintf(&b, "%-10s", f.XLabel)
@@ -82,8 +93,9 @@ func (f *Figure) Table() string {
 	if len(f.Series) == 0 {
 		return b.String()
 	}
+	sizeAxis := f.sizeAxis()
 	for i, pt := range f.Series[0].Points {
-		fmt.Fprintf(&b, "%-10s", f.xLabel(pt.Size))
+		fmt.Fprintf(&b, "%-10s", f.xLabel(pt.Size, sizeAxis))
 		for _, s := range f.Series {
 			fmt.Fprintf(&b, " %16.2f", s.Points[i].Value)
 		}
@@ -95,18 +107,23 @@ func (f *Figure) Table() string {
 // CSV renders the figure as comma-separated values with a header row.
 func (f *Figure) CSV() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s", f.XLabel)
+	if len(f.Series) > 0 {
+		b.Grow((len(f.Series[0].Points) + 1) * (8 + 12*len(f.Series)))
+	}
+	b.WriteString(f.XLabel)
 	for _, s := range f.Series {
-		fmt.Fprintf(&b, ",%s", s.Label)
+		b.WriteByte(',')
+		b.WriteString(s.Label)
 	}
 	b.WriteByte('\n')
 	if len(f.Series) == 0 {
 		return b.String()
 	}
 	for i, pt := range f.Series[0].Points {
-		fmt.Fprintf(&b, "%d", pt.Size)
+		b.WriteString(strconv.Itoa(pt.Size))
 		for _, s := range f.Series {
-			fmt.Fprintf(&b, ",%g", s.Points[i].Value)
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(s.Points[i].Value, 'g', -1, 64))
 		}
 		b.WriteByte('\n')
 	}

@@ -3,7 +3,6 @@ package bench
 import (
 	"repro/internal/core"
 	"repro/internal/driver"
-	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -19,11 +18,8 @@ const fig10Reps = 10
 // MeasureBarrierAfterPut returns the mean latency in microseconds of a
 // BarrierAll issued immediately after a put of the given size.
 func MeasureBarrierAfterPut(par *model.Params, mode driver.Mode, hops, size, reps int) float64 {
-	s := sim.New()
-	c := fabric.NewRing(s, par, 3)
-	w := core.NewWorld(c, core.Options{Mode: mode})
 	var total sim.Duration
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, 3, core.Options{Mode: mode}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -38,9 +34,6 @@ func MeasureBarrierAfterPut(par *model.Params, mode driver.Mode, hops, size, rep
 			}
 		}
 	})
-	if err != nil {
-		panic(err)
-	}
 	return total.Microseconds() / float64(reps)
 }
 
@@ -52,11 +45,26 @@ func RunFig10(par *model.Params) *Figure {
 		XLabel: "Request Size",
 		Unit:   "us",
 	}
-	for _, cfg := range fig9Grid() {
-		series := Series{Label: cfg.label}
-		for _, size := range Sizes() {
-			v := MeasureBarrierAfterPut(par, cfg.mode, cfg.hops, size, fig10Reps)
-			series.Points = append(series.Points, Point{size, v})
+	grid := fig9Grid()
+	sizes := Sizes()
+	type cellKey struct {
+		gi   int
+		size int
+	}
+	keys := make([]cellKey, 0, len(grid)*len(sizes))
+	for gi := range grid {
+		for _, size := range sizes {
+			keys = append(keys, cellKey{gi, size})
+		}
+	}
+	vals := runPoints(keys, func(k cellKey) float64 {
+		cfg := grid[k.gi]
+		return MeasureBarrierAfterPut(par, cfg.mode, cfg.hops, k.size, fig10Reps)
+	})
+	for gi, cfg := range grid {
+		series := Series{Label: cfg.label, Points: make([]Point, 0, len(sizes))}
+		for si, size := range sizes {
+			series.Points = append(series.Points, Point{size, vals[gi*len(sizes)+si]})
 		}
 		f.Series = append(f.Series, series)
 	}

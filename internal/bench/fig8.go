@@ -37,6 +37,7 @@ func Fig8Independent(par *model.Params, linkIdx, size int) float64 {
 	pp := par.Clone()
 	pp.DMAEngineBW = par.LinkEngineBW(linkIdx)
 	pp.ChipsetSpread = nil
+	worldCount.Add(1)
 	s := sim.New()
 	c := fabric.NewPair(s, pp)
 	var tput float64
@@ -54,6 +55,7 @@ func Fig8Independent(par *model.Params, linkIdx, size int) float64 {
 // simultaneously (host i -> host i+1) at the given block size. It
 // returns the per-link throughputs in link order.
 func Fig8Ring(par *model.Params, n, size int) []float64 {
+	worldCount.Add(1)
 	s := sim.New()
 	c := fabric.NewRing(s, par, n)
 	tputs := make([]float64, n)
@@ -79,15 +81,28 @@ func RunFig8(par *model.Params) []*Figure {
 	totalIndep := make([]Point, 0, len(sizes))
 	totalRing := make([]Point, 0, len(sizes))
 
-	for _, size := range sizes {
-		ring := Fig8Ring(par, 3, size)
+	// One parallel cell per block size: the ring measurement plus the
+	// three isolated-link baselines.
+	type cell struct {
+		ring  []float64
+		indep [3]float64
+	}
+	cells := runPoints(sizes, func(size int) cell {
+		var c cell
+		c.ring = Fig8Ring(par, 3, size)
+		for l := 0; l < 3; l++ {
+			c.indep[l] = Fig8Independent(par, l, size)
+		}
+		return c
+	})
+	for si, size := range sizes {
+		c := cells[si]
 		var sumI, sumR float64
 		for l := 0; l < 3; l++ {
-			iv := Fig8Independent(par, l, size)
-			indepPerLink[l] = append(indepPerLink[l], Point{size, iv})
-			ringPerLink[l] = append(ringPerLink[l], Point{size, ring[l]})
-			sumI += iv
-			sumR += ring[l]
+			indepPerLink[l] = append(indepPerLink[l], Point{size, c.indep[l]})
+			ringPerLink[l] = append(ringPerLink[l], Point{size, c.ring[l]})
+			sumI += c.indep[l]
+			sumR += c.ring[l]
 		}
 		totalIndep = append(totalIndep, Point{size, sumI})
 		totalRing = append(totalRing, Point{size, sumR})

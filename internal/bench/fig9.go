@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
-	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -37,11 +36,8 @@ func (o Op) String() string {
 // MeasureShmemOp runs one (op, mode, hops, size) cell on a fresh 3-host
 // ring and returns the mean per-operation latency in microseconds.
 func MeasureShmemOp(par *model.Params, op Op, mode driver.Mode, hops, size, reps int) float64 {
-	s := sim.New()
-	c := fabric.NewRing(s, par, 3)
-	w := core.NewWorld(c, core.Options{Mode: mode})
 	var mean float64
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(par, 3, core.Options{Mode: mode}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -61,9 +57,6 @@ func MeasureShmemOp(par *model.Params, op Op, mode driver.Mode, hops, size, reps
 		}
 		pe.BarrierAll(p)
 	})
-	if err != nil {
-		panic(err)
-	}
 	return mean
 }
 
@@ -101,15 +94,33 @@ func RunFig9(par *model.Params) []*Figure {
 	putTput := mkFig("Fig 9(c)", "Throughput of OpenSHMEM Put with one-sided communication", "MB/s")
 	getTput := mkFig("Fig 9(d)", "Throughput of OpenSHMEM Get with one-sided communication", "MB/s")
 
+	// Fan the (size, config) grid across workers; each cell builds its
+	// own worlds, and results are slotted by index so the emitted series
+	// are identical at any parallelism.
+	type cellKey struct {
+		size int
+		gi   int
+	}
+	keys := make([]cellKey, 0, len(sizes)*len(grid))
 	for _, size := range sizes {
-		for gi, cfg := range grid {
-			pl := MeasureShmemOp(par, OpPut, cfg.mode, cfg.hops, size, fig9Reps)
-			gl := MeasureShmemOp(par, OpGet, cfg.mode, cfg.hops, size, fig9Reps)
-			putLat.Series[gi].Points = append(putLat.Series[gi].Points, Point{size, pl})
-			getLat.Series[gi].Points = append(getLat.Series[gi].Points, Point{size, gl})
-			putTput.Series[gi].Points = append(putTput.Series[gi].Points, Point{size, MBps(int64(size), int64(pl*1e3))})
-			getTput.Series[gi].Points = append(getTput.Series[gi].Points, Point{size, MBps(int64(size), int64(gl*1e3))})
+		for gi := range grid {
+			keys = append(keys, cellKey{size, gi})
 		}
+	}
+	type cellVal struct{ putLat, getLat float64 }
+	cells := runPoints(keys, func(k cellKey) cellVal {
+		cfg := grid[k.gi]
+		return cellVal{
+			putLat: MeasureShmemOp(par, OpPut, cfg.mode, cfg.hops, k.size, fig9Reps),
+			getLat: MeasureShmemOp(par, OpGet, cfg.mode, cfg.hops, k.size, fig9Reps),
+		}
+	})
+	for i, k := range keys {
+		pl, gl := cells[i].putLat, cells[i].getLat
+		putLat.Series[k.gi].Points = append(putLat.Series[k.gi].Points, Point{k.size, pl})
+		getLat.Series[k.gi].Points = append(getLat.Series[k.gi].Points, Point{k.size, gl})
+		putTput.Series[k.gi].Points = append(putTput.Series[k.gi].Points, Point{k.size, MBps(int64(k.size), int64(pl*1e3))})
+		getTput.Series[k.gi].Points = append(getTput.Series[k.gi].Points, Point{k.size, MBps(int64(k.size), int64(gl*1e3))})
 	}
 	return []*Figure{putLat, getLat, putTput, getTput}
 }

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// The parallel experiment engine. Every figure, ablation, and extension
+// is produced by running many independent deterministic worlds; each
+// world stays single-threaded and bit-identical, and parallelism is
+// strictly across worlds. Results are slotted by point index, never by
+// completion order, so a sweep's output is byte-for-byte identical at
+// any worker count.
+
+// parallelism is the worker count used by the Run* sweeps; zero means
+// "use runtime.GOMAXPROCS(0)".
+var parallelism atomic.Int64
+
+// SetParallelism sets the worker count for subsequent figure sweeps.
+// n < 1 resets to the default (one worker per available CPU).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the worker count figure sweeps will use.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// worldCount tallies simulated worlds across all sweeps, for the
+// harness's worlds-per-second summary.
+var worldCount atomic.Uint64
+
+// WorldsSimulated reports how many simulation worlds have been built and
+// run by this package since process start (or the last reset).
+func WorldsSimulated() uint64 { return worldCount.Load() }
+
+// ResetWorldCount zeroes the world tally (test/tool hook).
+func ResetWorldCount() { worldCount.Store(0) }
+
+// CountWorld records one externally simulated world in the tally. The
+// bench package's own helpers count automatically; commands that build
+// worlds outside this package can keep the summary honest with this.
+func CountWorld() { worldCount.Add(1) }
+
+// RunPoints fans fn over points across par workers and returns the
+// results in point order. fn must be safe to call concurrently for
+// distinct points (the Run* sweeps satisfy this: every point builds its
+// own simulator). A cancelled ctx stops new points from being claimed;
+// results for unclaimed points are left as zero values. A panic in fn is
+// re-raised on the calling goroutine after all workers have stopped.
+func RunPoints[T, R any](ctx context.Context, par int, points []T, fn func(T) R) []R {
+	results := make([]R, len(points))
+	if len(points) == 0 {
+		return results
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if par < 1 {
+		par = 1
+	}
+	if par > len(points) {
+		par = len(points)
+	}
+	if par == 1 {
+		// Serial fast path: no goroutines, same claim order.
+		for i, pt := range points {
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = fn(pt)
+		}
+		return results
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || ctx.Err() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, fmt.Sprintf("bench: point %d panicked: %v", i, r))
+						}
+					}()
+					results[i] = fn(points[i])
+				}()
+				if panicked.Load() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return results
+}
+
+// runPoints is RunPoints with the package's configured worker count and
+// no cancellation — the form every figure sweep uses.
+func runPoints[T, R any](points []T, fn func(T) R) []R {
+	return RunPoints(context.Background(), Parallelism(), points, fn)
+}
+
+// runRingWorld builds an n-host ring world, drives body on every PE to
+// completion, and tears the simulator down. It panics on simulation
+// error (measurement harnesses have no recovery story) and counts the
+// world for the throughput summary.
+func runRingWorld(par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) {
+	worldCount.Add(1)
+	s := sim.New()
+	c := fabric.NewRing(s, par, n)
+	w := core.NewWorld(c, opts)
+	if err := w.Run(body); err != nil {
+		panic(err)
+	}
+}

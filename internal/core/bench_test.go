@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkWorldSpawnTeardown measures the full host-side cost of one
+// experiment cell: build a 3-host ring world, run shmem_init plus a
+// barrier on every PE, and tear the simulator down. The experiment
+// harness pays exactly this per measurement point, so it bounds how
+// fast figure sweeps can go.
+func BenchmarkWorldSpawnTeardown(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := newWorld(3, Options{})
+		if err := w.Run(func(p *sim.Proc, pe *PE) {
+			pe.BarrierAll(p)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "worlds/s")
+}
+
+// BenchmarkWorldPut64K measures one warm 64KiB put on a standing world
+// pattern: world build + barrier + put per iteration, the inner loop of
+// the Fig 9 sweeps.
+func BenchmarkWorldPut64K(b *testing.B) {
+	const size = 64 << 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := newWorld(3, Options{})
+		if err := w.Run(func(p *sim.Proc, pe *PE) {
+			sym := pe.MustMalloc(p, size)
+			buf := make([]byte, size)
+			pe.BarrierAll(p)
+			if pe.ID() == 0 {
+				pe.PutBytes(p, 1, sym, buf)
+			}
+			pe.BarrierAll(p)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkSimEventThroughput drives the kernel's hot path — the
+// park/wake handshake plus timer events — and reports wall-clock
+// events/sec and allocs/op. This is the host-side speed of the
+// simulator itself, tracked alongside the virtual-time metrics: the
+// ROADMAP's "as fast as the hardware allows" applies to how quickly a
+// world simulates, not only to the modelled numbers.
+func BenchmarkSimEventThroughput(b *testing.B) {
+	const eventsPerIter = 1000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Go("worker", func(p *Proc) {
+			for e := 0; e < eventsPerIter/2; e++ {
+				p.Sleep(Microsecond) // timer wake: one event
+				p.Yield()            // same-timestamp wake: one event
+			}
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		s.Shutdown()
+	}
+	b.ReportMetric(float64(b.N)*eventsPerIter/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSimPingPong measures the two-process handshake pattern every
+// kernel primitive reduces to: a producer pushing into a Queue and a
+// consumer popping, alternating at the same timestamp.
+func BenchmarkSimPingPong(b *testing.B) {
+	const rounds = 500
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		q := NewQueue[int]("ping")
+		r := NewQueue[int]("pong")
+		s.Go("producer", func(p *Proc) {
+			for n := 0; n < rounds; n++ {
+				q.Push(n)
+				r.Pop(p)
+			}
+		})
+		s.Go("consumer", func(p *Proc) {
+			for n := 0; n < rounds; n++ {
+				q.Pop(p)
+				r.Push(n)
+			}
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		s.Shutdown()
+	}
+	b.ReportMetric(float64(b.N)*rounds/b.Elapsed().Seconds(), "rounds/s")
+}

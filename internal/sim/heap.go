@@ -2,10 +2,16 @@ package sim
 
 // event is a scheduled callback. Events with equal times fire in the order
 // they were scheduled (seq breaks ties), which keeps runs deterministic.
+//
+// The overwhelmingly common event — wake a parked process — carries the
+// *Proc directly instead of a freshly allocated closure; fn is only used
+// for scheduler-context callbacks (After). This keeps the park/wake hot
+// path allocation-free.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	proc *Proc  // non-nil: dispatch this process
+	fn   func() // non-nil: run this callback in scheduler context
 }
 
 // eventHeap is a binary min-heap of events ordered by (t, seq). It is

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"runtime"
 )
 
@@ -58,7 +57,7 @@ func (p *Proc) park(label string) {
 // wake schedules p to resume at the current virtual time. It must only be
 // used by kernel primitives that know p is parked and not yet woken.
 func (p *Proc) wake() {
-	p.sim.schedule(p.sim.now, func() { p.sim.dispatch(p) })
+	p.sim.scheduleProc(p.sim.now, p)
 }
 
 // wakeAfter schedules p to resume d from now.
@@ -66,7 +65,7 @@ func (p *Proc) wakeAfter(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.sim.schedule(p.sim.now.Add(d), func() { p.sim.dispatch(p) })
+	p.sim.scheduleProc(p.sim.now.Add(d), p)
 }
 
 // Sleep suspends the process for d of virtual time. A non-positive d
@@ -74,7 +73,10 @@ func (p *Proc) wakeAfter(d Duration) {
 // timestamp run first).
 func (p *Proc) Sleep(d Duration) {
 	p.wakeAfter(d)
-	p.park(fmt.Sprintf("sleep(%v)", d))
+	// A static label: a sleeper always has its wake event pending, so it
+	// can never appear in a deadlock report, and formatting the duration
+	// here would put fmt.Sprintf on the kernel's hottest path.
+	p.park("sleep")
 }
 
 // Yield lets every other event already scheduled at the current instant

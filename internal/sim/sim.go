@@ -17,6 +17,15 @@ type Simulator struct {
 	seq    uint64
 	events eventHeap
 
+	// ready is the same-timestamp fast path: events scheduled for the
+	// current instant never touch the heap. Because seq grows
+	// monotonically, any event scheduled at the current time sorts after
+	// every event already in the heap at that time, so a plain FIFO
+	// (drained only once the heap holds nothing at now) preserves the
+	// exact (t, seq) global order the heap alone would produce.
+	ready     []event
+	readyHead int
+
 	// yielded carries control back from a running process to the
 	// scheduler. Exactly one process may be between resume and yield at
 	// any moment, so an unbuffered channel suffices.
@@ -37,6 +46,8 @@ var errKilled = fmt.Errorf("sim: blocking call during Shutdown teardown")
 // New returns an empty simulator positioned at virtual time zero.
 func New() *Simulator {
 	return &Simulator{
+		events:  eventHeap{items: make([]event, 0, 128)},
+		ready:   make([]event, 0, 64),
 		yielded: make(chan struct{}),
 		procs:   make(map[*Proc]struct{}),
 	}
@@ -47,11 +58,26 @@ func (s *Simulator) Now() Time { return s.now }
 
 // schedule enqueues fn to run at time t. Panics if t is in the past.
 func (s *Simulator) schedule(t Time, fn func()) {
+	s.scheduleEvent(t, event{fn: fn})
+}
+
+// scheduleProc enqueues a wake of p at time t without allocating a
+// closure — the kernel's hottest operation.
+func (s *Simulator) scheduleProc(t Time, p *Proc) {
+	s.scheduleEvent(t, event{proc: p})
+}
+
+func (s *Simulator) scheduleEvent(t Time, ev event) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, s.now))
 	}
 	s.seq++
-	s.events.push(event{t: t, seq: s.seq, fn: fn})
+	ev.t, ev.seq = t, s.seq
+	if t == s.now {
+		s.ready = append(s.ready, ev)
+		return
+	}
+	s.events.push(ev)
 }
 
 // After enqueues fn to run d from now. A negative d is treated as zero.
@@ -119,7 +145,10 @@ func (s *Simulator) GoAfter(name string, d Duration, body func(p *Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	s.After(d, func() { s.dispatch(p) })
+	if d < 0 {
+		d = 0
+	}
+	s.scheduleProc(s.now.Add(d), p)
 	return p
 }
 
@@ -154,18 +183,39 @@ func (s *Simulator) run(deadline Time) error {
 	s.running = true
 	defer func() { s.running = false }()
 
+loop:
 	for s.fatal == nil {
+		var ev event
 		next := s.events.peek()
-		if next == nil {
-			break
+		switch {
+		case next != nil && next.t == s.now:
+			// Heap events at the current instant were scheduled before
+			// time advanced here, so they precede everything in ready.
+			ev = s.events.pop()
+		case s.readyHead < len(s.ready):
+			// Same-timestamp fast path: FIFO dispatch, no re-heapify.
+			ev = s.ready[s.readyHead]
+			s.ready[s.readyHead] = event{} // release fn/proc for GC
+			s.readyHead++
+			if s.readyHead == len(s.ready) {
+				s.ready = s.ready[:0]
+				s.readyHead = 0
+			}
+		case next != nil:
+			if deadline >= 0 && next.t > deadline {
+				s.now = deadline
+				return nil
+			}
+			ev = s.events.pop()
+			s.now = ev.t
+		default:
+			break loop
 		}
-		if deadline >= 0 && next.t > deadline {
-			s.now = deadline
-			return nil
+		if ev.proc != nil {
+			s.dispatch(ev.proc)
+		} else {
+			ev.fn()
 		}
-		ev := s.events.pop()
-		s.now = ev.t
-		ev.fn()
 	}
 	if s.fatal != nil {
 		return s.fatal
@@ -229,4 +279,5 @@ func (s *Simulator) Shutdown() {
 	}
 	s.procs = make(map[*Proc]struct{})
 	s.events = eventHeap{}
+	s.ready, s.readyHead = nil, 0
 }

@@ -13,17 +13,21 @@ package sim
 //
 // Signal and Broadcast may be called from process or scheduler context.
 type Cond struct {
-	name    string
-	waiters []*Proc
+	name      string
+	parkLabel string // "cond " + name, built once instead of per Wait
+	waiters   []*Proc
 }
 
 // NewCond returns a condition variable labelled name for deadlock reports.
-func NewCond(name string) *Cond { return &Cond{name: name} }
+func NewCond(name string) *Cond { return &Cond{name: name, parkLabel: "cond " + name} }
 
 // Wait parks the calling process until a Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
+	if c.parkLabel == "" { // zero-value Cond (e.g. inside Completion)
+		c.parkLabel = "cond " + c.name
+	}
 	c.waiters = append(c.waiters, p)
-	p.park("cond " + c.name)
+	p.park(c.parkLabel)
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -94,13 +98,20 @@ type queueWaiter[T any] struct {
 // longest-waiting consumer, so wake order is FIFO and no consumer can
 // starve.
 type Queue[T any] struct {
-	name    string
-	items   []T
-	waiters []*queueWaiter[T]
+	name      string
+	parkLabel string
+	items     []T
+	waiters   []*queueWaiter[T]
+	// wpool recycles waiter records: a waiter's lifetime is confined to
+	// one Pop call, so the record is returned here as Pop unblocks and
+	// the steady-state park path allocates nothing.
+	wpool []*queueWaiter[T]
 }
 
 // NewQueue returns an empty queue labelled name.
-func NewQueue[T any](name string) *Queue[T] { return &Queue[T]{name: name} }
+func NewQueue[T any](name string) *Queue[T] {
+	return &Queue[T]{name: name, parkLabel: "queue " + name}
+}
 
 // Len reports the number of buffered (not yet handed off) items.
 func (q *Queue[T]) Len() int { return len(q.items) }
@@ -131,13 +142,23 @@ func (q *Queue[T]) Pop(p *Proc) T {
 		q.items = q.items[:len(q.items)-1]
 		return item
 	}
-	w := &queueWaiter[T]{p: p}
+	var w *queueWaiter[T]
+	if last := len(q.wpool) - 1; last >= 0 {
+		w = q.wpool[last]
+		q.wpool = q.wpool[:last]
+	} else {
+		w = new(queueWaiter[T])
+	}
+	w.p = p
 	q.waiters = append(q.waiters, w)
-	p.park("queue " + q.name)
+	p.park(q.parkLabel)
 	if !w.ready {
 		panic("sim: queue waiter woken without item: " + q.name)
 	}
-	return w.item
+	item := w.item
+	*w = queueWaiter[T]{}
+	q.wpool = append(q.wpool, w)
+	return item
 }
 
 // TryPop removes and returns the oldest item without blocking. The second
@@ -167,10 +188,12 @@ type resourceWaiter struct {
 // order; a large request at the head blocks smaller later ones, which
 // preserves fairness and keeps timing deterministic.
 type Resource struct {
-	name     string
-	capacity int64
-	free     int64
-	waiters  []*resourceWaiter
+	name      string
+	parkLabel string
+	capacity  int64
+	free      int64
+	waiters   []*resourceWaiter
+	wpool     []*resourceWaiter // recycled waiter records, as in Queue
 }
 
 // NewResource returns a resource with the given capacity, all free.
@@ -178,7 +201,7 @@ func NewResource(name string, capacity int64) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &Resource{name: name, capacity: capacity, free: capacity}
+	return &Resource{name: name, parkLabel: "resource " + name, capacity: capacity, free: capacity}
 }
 
 // Capacity returns the total capacity.
@@ -197,12 +220,21 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		r.free -= n
 		return
 	}
-	w := &resourceWaiter{p: p, n: n}
+	var w *resourceWaiter
+	if last := len(r.wpool) - 1; last >= 0 {
+		w = r.wpool[last]
+		r.wpool = r.wpool[:last]
+	} else {
+		w = new(resourceWaiter)
+	}
+	w.p, w.n, w.granted = p, n, false
 	r.waiters = append(r.waiters, w)
-	p.park("resource " + r.name)
+	p.park(r.parkLabel)
 	if !w.granted {
 		panic("sim: resource waiter woken without grant: " + r.name)
 	}
+	*w = resourceWaiter{}
+	r.wpool = append(r.wpool, w)
 }
 
 // Release returns n units and serves queued waiters in FIFO order.
