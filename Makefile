@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench reproduce clean
+.PHONY: all build test race vet bench bench-smoke profile reproduce clean
 
 all: build vet test
 
@@ -14,17 +14,29 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages that touch the parallel experiment engine:
-# the kernel, the runtime, and the harness that fans worlds out.
+# Race-check the packages that touch the parallel experiment engine and
+# the zero-allocation transfer hot path: the kernel, the flow network,
+# the driver, the runtime, and the harness that fans worlds out.
 race:
-	$(GO) test -race ./internal/sim ./internal/core ./internal/bench
+	$(GO) test -race ./internal/sim ./internal/pcie ./internal/driver ./internal/core ./internal/bench
 
 vet:
 	$(GO) vet ./...
 
 # Host-side simulator speed benchmarks (wall-clock, allocs/op).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSim|BenchmarkWorld' -benchmem ./internal/sim ./internal/core
+	$(GO) test -run xxx -bench . -benchmem ./internal/pcie ./internal/driver ./internal/sim ./internal/core
+
+# One-iteration pass over every benchmark: catches benchmarks that
+# panic or regress to compile errors without paying for real timing runs
+# (CI runs this).
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/pcie ./internal/driver ./internal/sim ./internal/core
+
+# Profile a full reproduce run; inspect with `go tool pprof cpu.pprof`
+# (or mem.pprof for the allocation profile).
+profile:
+	$(GO) run ./cmd/reproduce -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 
 # Regenerate the archived experiment output.
 reproduce:
@@ -32,3 +44,4 @@ reproduce:
 
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

@@ -13,7 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -26,8 +26,39 @@ func main() {
 	outdir := flag.String("outdir", "", "also write one CSV file per figure into this directory")
 	paramsFile := flag.String("params", "", "JSON platform profile overlaying the default (see model.SaveParams)")
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
 	bench.SetParallelism(*par)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live retention
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -52,8 +83,7 @@ func main() {
 			fmt.Println(f.Table())
 		}
 		if *outdir != "" {
-			name := strings.ToLower(strings.NewReplacer(" ", "", "(", "_", ")", "").Replace(f.ID)) + ".csv"
-			path := filepath.Join(*outdir, name)
+			path := filepath.Join(*outdir, bench.CSVFileName(f.ID))
 			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "reproduce:", err)
 				os.Exit(1)

@@ -130,6 +130,14 @@ func (f *Figure) CSV() string {
 	return b.String()
 }
 
+// CSVFileName maps a figure ID to the file name cmd/reproduce archives
+// its CSV under in results/ (e.g. "Fig 9 (DMA)" → "fig9_dma.csv"). The
+// golden regression test resolves checked-in files with the same rule,
+// so the mapping must stay in one place.
+func CSVFileName(id string) string {
+	return strings.ToLower(strings.NewReplacer(" ", "", "(", "_", ")", "").Replace(id)) + ".csv"
+}
+
 // SeriesByLabel returns the series with the given label, or nil.
 func (f *Figure) SeriesByLabel(label string) *Series {
 	for i := range f.Series {

@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -53,4 +57,54 @@ func TestGoldenNumbers(t *testing.T) {
 	// A1: barrier algorithms at n=8 (us).
 	golden(t, "ring barrier n=8", MeasureBarrierLatency(par, core.BarrierRing, 8, 5), 2916.80, 1.0)
 	golden(t, "dissemination barrier n=8", MeasureBarrierLatency(par, core.BarrierDissemination, 8, 5), 1225.28, 1.0)
+}
+
+// TestGoldenCSVs regenerates the Fig 8, Fig 9, and A6 figure groups and
+// byte-compares their CSV renderings against the archived files in
+// results/. Unlike TestGoldenNumbers' tolerance bands, this diff is
+// exact: the incremental flow solver, solve coalescing, and every other
+// hot-path rewrite must not move any virtual-time figure by even one
+// nanosecond. A mismatch prints a line-level diff of the first divergent
+// figure.
+func TestGoldenCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CSV sweep in -short mode")
+	}
+	par := model.Default()
+	var figs []*Figure
+	figs = append(figs, RunFig8(par)...)
+	figs = append(figs, RunFig9(par)...)
+	figs = append(figs, RunAblationPipeline(par))
+	for _, f := range figs {
+		name := CSVFileName(f.ID)
+		want, err := os.ReadFile(filepath.Join("..", "..", "results", name))
+		if err != nil {
+			t.Errorf("%s: no archived golden: %v", f.ID, err)
+			continue
+		}
+		got := f.CSV()
+		if got == string(want) {
+			continue
+		}
+		t.Errorf("%s: regenerated CSV differs from results/%s:\n%s",
+			f.ID, name, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first line where two CSV bodies diverge.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	return "(contents equal?)"
 }

@@ -25,6 +25,31 @@ func BenchmarkWorldSpawnTeardown(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "worlds/s")
 }
 
+// BenchmarkWorldPut1M measures b.N barrier-fenced 1 MiB puts — ~32
+// protocol chunks each at the default PutChunk — inside one standing
+// 3-host world. It is the transfer-path macro benchmark: with world
+// construction amortised away, allocs/op tracks the whole stack's
+// per-chunk SendChunk/DMA/flow-solver allocation cost.
+func BenchmarkWorldPut1M(b *testing.B) {
+	const size = 1 << 20
+	buf := make([]byte, size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	w := newWorld(3, Options{})
+	if err := w.Run(func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, size)
+		pe.BarrierAll(p)
+		for i := 0; i < b.N; i++ {
+			if pe.ID() == 0 {
+				pe.PutBytes(p, 1, sym, buf)
+			}
+			pe.BarrierAll(p)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkWorldPut64K measures one warm 64KiB put on a standing world
 // pattern: world build + barrier + put per iteration, the inner loop of
 // the Fig 9 sweeps.

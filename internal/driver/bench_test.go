@@ -1,0 +1,72 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkPipelinedSend measures the sustained per-chunk cost of the
+// pipelined sender: one sender pushing 16 KiB chunks through a depth-8
+// PipeTx while a receiver daemon drains slots and returns credits. This
+// is the per-chunk host-side path every large put pays under ablation
+// A6, so its allocs/op is the number the transfer-path work targets.
+func BenchmarkPipelinedSend(b *testing.B) {
+	benchSend(b, true)
+}
+
+// BenchmarkStopAndWaitSend is the same workload over the paper's
+// stop-and-wait TxChannel (the default protocol of every figure sweep).
+func BenchmarkStopAndWaitSend(b *testing.B) {
+	benchSend(b, false)
+}
+
+func benchSend(b *testing.B, pipelined bool) {
+	b.ReportAllocs()
+	r := newRig(b)
+	const chunk = 16 << 10
+	payload := make([]byte, chunk)
+	var tx Sender
+	q := sim.NewQueue[struct{}]("bench-svc")
+	r.epB.Handle(VecPut, func() { q.Push(struct{}{}) })
+	if pipelined {
+		ptx := NewPipeTx(r.epA, r.par, 8)
+		rx := NewPipeRx(r.b, r.par, 8)
+		tx = ptx
+		r.sim.GoDaemon("bench-svc", func(p *sim.Proc) {
+			for {
+				q.Pop(p)
+				p.Sleep(r.par.ServiceWake)
+				for {
+					_, _, ok := rx.Next(p)
+					if !ok {
+						break
+					}
+					rx.Release(p)
+				}
+			}
+		})
+	} else {
+		tx = r.txAB
+		r.sim.GoDaemon("bench-svc", func(p *sim.Proc) {
+			for {
+				q.Pop(p)
+				p.Sleep(r.par.ServiceWake)
+				ReadInfo(p, r.b)
+				Ack(p, r.b)
+			}
+		})
+	}
+	r.sim.Go("sender", func(p *sim.Proc) {
+		info := Info{Kind: KindPut, Dst: 1, Size: chunk}
+		for i := 0; i < b.N; i++ {
+			tx.SendChunk(p, info, Payload{Buf: payload, N: chunk}, ModeDMA)
+		}
+	})
+	b.ResetTimer()
+	if err := r.sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	r.sim.Shutdown()
+}

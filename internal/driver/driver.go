@@ -245,11 +245,12 @@ type TxChannel struct {
 // NewTxChannel builds the sender side for ep and hooks its ACK vector.
 func NewTxChannel(ep *Endpoint, par *model.Params) *TxChannel {
 	tx := &TxChannel{
-		ep:      ep,
-		par:     par,
-		mu:      sim.NewMutex("tx:" + ep.Port.Name()),
-		acks:    sim.NewQueue[struct{}]("ack:" + ep.Port.Name()),
-		scratch: make([]byte, par.WindowSize),
+		ep:   ep,
+		par:  par,
+		mu:   sim.NewMutex("tx:" + ep.Port.Name()),
+		acks: sim.NewQueue[struct{}]("ack:" + ep.Port.Name()),
+		// scratch (a window-sized staging buffer) is allocated on first
+		// memcpy-from-heap send; most channels only ever DMA.
 	}
 	ep.Handle(VecAck, func() { tx.acks.Push(struct{}{}) })
 	return tx
@@ -280,10 +281,13 @@ func (tx *TxChannel) SendChunk(p *sim.Proc, info Info, payload Payload, mode Mod
 			} else {
 				d.Src = payload.Buf
 			}
-			tx.ep.Port.DMA().Submit(p, d).Wait(p)
+			tx.ep.Port.DMA().SubmitWait(p, d)
 		case ModeCPU:
 			src := payload.Buf
 			if payload.Heap != nil {
+				if tx.scratch == nil {
+					tx.scratch = make([]byte, tx.par.WindowSize)
+				}
 				src = tx.scratch[:payload.N]
 				payload.Heap.Read(payload.HeapOff, src)
 			}

@@ -183,9 +183,9 @@ func (tx *PipeTx) SendChunk(p *sim.Proc, info Info, payload Payload, mode Mode) 
 	off := slot * tx.slotBytes
 	switch mode {
 	case ModeDMA:
-		tx.ep.Port.DMA().Submit(p, ntb.Desc{
+		tx.ep.Port.DMA().SubmitWait(p, ntb.Desc{
 			Region: ntb.RegionData, Off: off, Src: frame, Bytes: len(frame),
-		}).Wait(p)
+		})
 	case ModeCPU:
 		tx.ep.Port.CPUWrite(p, ntb.RegionData, off, frame)
 	default:

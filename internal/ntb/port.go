@@ -76,7 +76,8 @@ type Port struct {
 	peer     *Port
 	wire     *pcie.Server
 	localRC  *pcie.Server
-	linkDown *bool // shared by both ends of the cable
+	route    *pcie.Route // interned path to the peer, built at Connect
+	linkDown *bool       // shared by both ends of the cable
 
 	engineBW float64 // this adapter's DMA engine rate (chipset-dependent)
 
@@ -110,15 +111,19 @@ func NewPort(name string, s *sim.Simulator, net *pcie.Network, par *model.Params
 		engineBW: par.DMAEngineBW,
 		spads:    make([]uint32, par.SpadCount),
 	}
-	for r := range p.inbound {
-		p.inbound[r] = make([]byte, par.WindowSize)
-	}
+	// Inbound windows are allocated on first touch (see window): a fresh
+	// slice is zeroed either way, and most worlds never address most
+	// regions, so eager allocation would spend the bulk of world
+	// construction zeroing megabytes nobody reads.
 	p.dma = newEngine(p)
 	return p
 }
 
 // Connect joins two ports with a cable whose wire capacity comes from the
-// model profile. Both ports must be unconnected.
+// model profile. Both ports must be unconnected and share one flow
+// network. Each direction's flow-network route (local root complex, the
+// cable, the peer's root complex) is interned here, once, so per-transfer
+// pricing never rebuilds the server list.
 func Connect(a, b *Port) {
 	if a.peer != nil || b.peer != nil {
 		panic("ntb: port already connected")
@@ -126,9 +131,14 @@ func Connect(a, b *Port) {
 	if a.par != b.par {
 		panic("ntb: ports built from different profiles")
 	}
+	if a.net != b.net {
+		panic("ntb: ports priced on different flow networks")
+	}
 	wire := pcie.NewServer("wire:"+a.name+"<->"+b.name, a.par.EffectiveWireBW())
 	a.peer, b.peer = b, a
 	a.wire, b.wire = wire, wire
+	a.route = a.net.NewRoute(a.localRC, wire, b.localRC)
+	b.route = b.net.NewRoute(b.localRC, wire, a.localRC)
 	down := new(bool)
 	a.linkDown, b.linkDown = down, down
 }
@@ -227,7 +237,17 @@ func (p *Port) EngineBW() float64 { return p.engineBW }
 
 // Inbound returns the backing store of an inbound window. The slice
 // aliases device memory; the service thread copies out of it.
-func (p *Port) Inbound(r Region) []byte { return p.inbound[r] }
+func (p *Port) Inbound(r Region) []byte { return p.window(r) }
+
+// window returns region r's backing store, materialising it on first
+// touch. Lazily allocated windows read as zeros exactly like eagerly
+// allocated ones, so virtual-time behaviour is unchanged.
+func (p *Port) window(r Region) []byte {
+	if p.inbound[r] == nil {
+		p.inbound[r] = make([]byte, p.par.WindowSize)
+	}
+	return p.inbound[r]
+}
 
 func (p *Port) mustPeer() *Port {
 	if p.peer == nil {
@@ -297,9 +317,15 @@ func (p *Port) PeerDBSet(pr *sim.Proc, bits uint16) {
 		return
 	}
 	p.emit("doorbell", "ring", 0, 0)
-	peer := p.peer
-	p.sim.After(p.par.InterruptLatency, func() { peer.raise(bits) })
+	// The peer port is its own delivery timer (sim.Ticker): doorbells
+	// ring once per protocol chunk, and carrying the bits in the event
+	// argument keeps that path closure- and allocation-free.
+	p.sim.AfterTick(p.par.InterruptLatency, p.peer, uint64(bits))
 }
+
+// Tick implements sim.Ticker: scheduled interrupt delivery, arg carrying
+// the doorbell bits rung InterruptLatency ago. Not for direct use.
+func (p *Port) Tick(arg uint64) { p.raise(uint16(arg)) }
 
 // raise latches bits into the doorbell register and, for unmasked bits,
 // invokes the ISR.
@@ -346,10 +372,11 @@ func (p *Port) DBClearMask(pr *sim.Proc, bits uint16) {
 
 // ---- Memory windows ----
 
-// path returns the flow-network servers a transfer to the peer crosses.
-func (p *Port) path() []*pcie.Server {
-	peer := p.mustPeer()
-	return []*pcie.Server{p.localRC, p.wire, peer.localRC}
+// Route returns the interned flow-network route a transfer to the peer
+// crosses, built at Connect time.
+func (p *Port) Route() *pcie.Route {
+	p.mustPeer()
+	return p.route
 }
 
 // checkWindow validates a window write destination.
@@ -370,12 +397,12 @@ func (p *Port) CPUWrite(pr *sim.Proc, r Region, off int, data []byte) {
 	peer := p.mustPeer()
 	peer.admit(p)
 	start := pr.Now()
-	p.net.Transfer(pr, int64(len(data)), p.par.WindowWriteBW, p.path()...)
+	p.net.TransferRoute(pr, int64(len(data)), p.par.WindowWriteBW, p.route)
 	p.emit("pio", "window-write", pr.Now().Sub(start), len(data))
 	if *p.linkDown {
 		return // posted stores to a dead link vanish
 	}
-	copy(peer.inbound[r][off:], data)
+	copy(peer.window(r)[off:], data)
 }
 
 // CPURead pulls data from the peer's inbound window with uncached loads
@@ -394,9 +421,9 @@ func (p *Port) CPURead(pr *sim.Proc, r Region, off int, buf []byte) {
 		return
 	}
 	start := pr.Now()
-	p.net.Transfer(pr, int64(len(buf)), p.par.WindowReadBW, p.path()...)
+	p.net.TransferRoute(pr, int64(len(buf)), p.par.WindowReadBW, p.route)
 	p.emit("pio", "window-read", pr.Now().Sub(start), len(buf))
-	copy(buf, peer.inbound[r][off:off+len(buf)])
+	copy(buf, peer.window(r)[off:off+len(buf)])
 }
 
 // ---- DMA engine ----
@@ -420,6 +447,10 @@ type Engine struct {
 	port  *Port
 	queue *sim.Queue[*engineJob]
 	busy  int
+	// jpool recycles job records whose lifetime is confined to one
+	// SubmitWait call, keeping the per-chunk descriptor path
+	// allocation-free.
+	jpool []*engineJob
 }
 
 type engineJob struct {
@@ -454,6 +485,33 @@ func (e *Engine) Submit(pr *sim.Proc, d Desc) *sim.Completion {
 	return job.done
 }
 
+// SubmitWait enqueues a descriptor and blocks the caller until the data
+// is visible in the peer window — Submit followed by Wait, except that
+// the completion is never exposed, so the engine recycles the job record
+// and the per-chunk descriptor path allocates nothing. This is the form
+// the driver's chunk senders use.
+func (e *Engine) SubmitWait(pr *sim.Proc, d Desc) {
+	e.port.checkWindow(d.Region, d.Off, d.Bytes)
+	if d.SrcHeap == nil && len(d.Src) < d.Bytes {
+		panic("ntb: DMA descriptor source shorter than Bytes")
+	}
+	pr.Sleep(e.port.par.LocalMMIO)
+	var job *engineJob
+	if last := len(e.jpool) - 1; last >= 0 {
+		job = e.jpool[last]
+		e.jpool = e.jpool[:last]
+		job.done.Reset()
+	} else {
+		job = &engineJob{done: sim.NewCompletion("dma-done:" + e.port.name)}
+	}
+	job.desc = d
+	e.busy++
+	e.queue.Push(job)
+	job.done.Wait(pr)
+	job.desc = Desc{} // release the source buffer/heap references
+	e.jpool = append(e.jpool, job)
+}
+
 // Pending reports descriptors submitted but not yet completed.
 func (e *Engine) Pending() int { return e.busy }
 
@@ -473,8 +531,8 @@ func (e *Engine) run(pr *sim.Proc) {
 			wedge.Wait(pr) // parks forever
 		}
 		e.port.mustPeer().admit(e.port)
-		e.port.net.Transfer(pr, int64(d.Bytes), e.port.engineBW, e.port.path()...)
-		dst := e.port.mustPeer().inbound[d.Region][d.Off : d.Off+d.Bytes]
+		e.port.net.TransferRoute(pr, int64(d.Bytes), e.port.engineBW, e.port.route)
+		dst := e.port.mustPeer().window(d.Region)[d.Off : d.Off+d.Bytes]
 		if d.SrcHeap != nil {
 			d.SrcHeap.Read(d.SrcOff, dst)
 		} else {

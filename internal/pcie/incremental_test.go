@@ -1,0 +1,217 @@
+package pcie
+
+// Tests for the incremental solver's machinery: interned routes, the
+// transfer-record pool, same-instant solve coalescing, the completion
+// generation guard, and the drained-flow residue threshold.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRouteReuseMatchesAdHoc checks that transfers over one interned
+// Route time out identically to the ad-hoc variadic form.
+func TestRouteReuseMatchesAdHoc(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	a := NewServer("rc-a", 7.9e9)
+	w := NewServer("wire", 2.9e9)
+	b := NewServer("rc-b", 7.9e9)
+	r := n.NewRoute(a, w, b)
+	if got := r.Bottleneck(); got != 2.9e9 {
+		t.Fatalf("bottleneck: got %g, want 2.9e9", got)
+	}
+	var viaRoute, adHoc sim.Time
+	s.Go("route", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			n.TransferRoute(p, 256<<10, math.Inf(1), r)
+		}
+		viaRoute = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.New()
+	n2 := NewNetwork(s2)
+	a2, w2, b2 := NewServer("rc-a", 7.9e9), NewServer("wire", 2.9e9), NewServer("rc-b", 7.9e9)
+	s2.Go("adhoc", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			n2.Transfer(p, 256<<10, math.Inf(1), a2, w2, b2)
+		}
+		adHoc = p.Now()
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if viaRoute != adHoc {
+		t.Fatalf("interned route drifted: %v via Route, %v ad hoc", viaRoute, adHoc)
+	}
+}
+
+// TestSerialTransfersReusePool checks that back-to-back blocking
+// transfers recycle one flow record and keep exact per-transfer timing:
+// each chunk takes exactly ceil(bytes/rate) nanoseconds with no drift
+// accumulating across the pool reuse.
+func TestSerialTransfersReusePool(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	r := n.NewRoute(srv)
+	const chunks = 50
+	var end sim.Time
+	s.Go("serial", func(p *sim.Proc) {
+		for i := 0; i < chunks; i++ {
+			n.TransferRoute(p, 64<<10, math.Inf(1), r)
+		}
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(chunks * 65536); end != want {
+		t.Fatalf("serial chunks: got %v, want exactly %v", end, want)
+	}
+	if got := len(n.pool); got != 1 {
+		t.Fatalf("pool: got %d records, want the 1 recycled one", got)
+	}
+}
+
+// TestSameInstantStartsCoalesceToOneSolve starts three equal flows at
+// the same instant and checks (white box) that the full solver runs
+// exactly once for them: the first start takes the idle inline path, and
+// the other two piggyback on a single coalesced solve event.
+func TestSameInstantStartsCoalesceToOneSolve(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	r := n.NewRoute(srv)
+	ends := make([]sim.Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go("f", func(p *sim.Proc) {
+			n.TransferRoute(p, 1<<20, math.Inf(1), r)
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Three equal flows share 1e9 B/s: each finishes at 3 x 1048.576us.
+	for i, end := range ends {
+		if want := sim.Time(3 * 1048576); end != want {
+			t.Fatalf("flow %d: got %v, want exactly %v", i, end, want)
+		}
+	}
+	// epoch counts solveFull runs: one for the coalesced 3-flow solve.
+	// (Single-flow fast paths and the final empty drain never run it.)
+	if n.epoch != 1 {
+		t.Fatalf("solveFull ran %d times, want 1 (coalescing broken)", n.epoch)
+	}
+}
+
+// TestStaleCompletionEventIsIgnored forces the gen-guard scenario: flow
+// A's completion event is scheduled, then a same-server start re-solves
+// and reschedules, leaving the original event in the heap with a stale
+// generation. The stale event must not complete A early — and must not
+// touch the pooled record even after A's real completion recycles it.
+func TestStaleCompletionEventIsIgnored(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	r := n.NewRoute(srv)
+	var aEnd, cEnd sim.Time
+	s.Go("a", func(p *sim.Proc) {
+		// A alone: completion event lands at 1048576ns, gen 1.
+		n.TransferRoute(p, 1<<20, math.Inf(1), r)
+		aEnd = p.Now()
+		// A's record returns to the pool; the next transfer reuses it.
+		// The stale gen-1 event (still in the heap if B's join bumped the
+		// generation) fires while C is in flight and must be ignored.
+		n.TransferRoute(p, 1<<20, math.Inf(1), r)
+		cEnd = p.Now()
+	})
+	s.GoAfter("b", 500*sim.Microsecond, func(p *sim.Proc) {
+		n.TransferRoute(p, 1<<20, math.Inf(1), r)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Worked example (same as TestStaggeredJoinAndLeave): A drains at
+	// 1597.152us, so its stale gen-1 event at 1048.576us fired mid-share.
+	if want := sim.Time(1597152); aEnd != want {
+		t.Fatalf("flow A: got %v, want exactly %v (stale event completed it early?)", aEnd, want)
+	}
+	// C (A's second transfer, on the recycled record) starts at A's
+	// completion instant and runs against B's tail: B has 500000 B left,
+	// shared at 0.5e9 it drains at 2597.152us (C moves 500000 B
+	// meanwhile), and C finishes its last 548576 B alone at 3145.728us.
+	if want := sim.Time(3145728); cEnd != want {
+		t.Fatalf("flow C: got %v, want exactly %v", cEnd, want)
+	}
+}
+
+// TestCompletionAtCoalescedInstant starts a flow at exactly the instant
+// an earlier flow completes. The completion wakeup, the waiter's new
+// start, and the coalesced solve all share one timestamp; the new flow
+// must still run at full rate for its exact duration.
+func TestCompletionAtCoalescedInstant(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	srv := NewServer("wire", 1e9)
+	r := n.NewRoute(srv)
+	var aEnd, bEnd sim.Time
+	s.Go("a", func(p *sim.Proc) {
+		n.TransferRoute(p, 1<<20, math.Inf(1), r)
+		aEnd = p.Now()
+	})
+	// B starts at 1048576ns — the exact instant A's completion fires.
+	s.GoAfter("b", sim.Duration(1048576), func(p *sim.Proc) {
+		n.TransferRoute(p, 1<<20, math.Inf(1), r)
+		bEnd = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(1048576); aEnd != want {
+		t.Fatalf("flow A: got %v, want exactly %v", aEnd, want)
+	}
+	if want := sim.Time(2 * 1048576); bEnd != want {
+		t.Fatalf("flow B: got %v, want exactly %v (same-instant start mispriced)", bEnd, want)
+	}
+}
+
+// TestResidueThresholdDrainsFractionalRemainders pins the threshold's
+// value and checks, across awkward rate/size pairs whose durations are
+// not integral nanoseconds, that every flow completes at the ceiling of
+// its exact duration: the sub-byte residue left by scheduling the event
+// on the nanosecond grid counts as drained rather than rescheduling a
+// spurious extra event.
+func TestResidueThresholdDrainsFractionalRemainders(t *testing.T) {
+	if residueThreshold != 0.5 {
+		t.Fatalf("residueThreshold = %g, want 0.5 (see the constant's rationale)", residueThreshold)
+	}
+	rates := []float64{2.9e9, 1e9 / 3, 7.877e8, 3.3e9}
+	sizes := []int64{1000, 4<<10 + 977, 64<<10 + 1, 1 << 20}
+	for _, rate := range rates {
+		for _, size := range sizes {
+			s := sim.New()
+			n := NewNetwork(s)
+			srv := NewServer("wire", rate)
+			r := n.NewRoute(srv)
+			var end sim.Time
+			s.Go("f", func(p *sim.Proc) {
+				n.TransferRoute(p, size, math.Inf(1), r)
+				end = p.Now()
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want := sim.Time(math.Ceil(float64(size) / rate * 1e9))
+			if end != want {
+				t.Errorf("rate %g size %d: got %v, want exactly %v", rate, size, end, want)
+			}
+		}
+	}
+}

@@ -5,13 +5,17 @@ package sim
 //
 // The overwhelmingly common event — wake a parked process — carries the
 // *Proc directly instead of a freshly allocated closure; fn is only used
-// for scheduler-context callbacks (After). This keeps the park/wake hot
-// path allocation-free.
+// for scheduler-context callbacks (After). Components that schedule many
+// cancellable or parameterised timers (the flow network's completion
+// events, doorbell interrupt delivery) implement Ticker and carry an
+// opaque argument instead, so their timers allocate nothing either.
 type event struct {
-	t    Time
-	seq  uint64
-	proc *Proc  // non-nil: dispatch this process
-	fn   func() // non-nil: run this callback in scheduler context
+	t      Time
+	seq    uint64
+	proc   *Proc  // non-nil: dispatch this process
+	fn     func() // non-nil: run this callback in scheduler context
+	ticker Ticker // non-nil: call ticker.Tick(targ) in scheduler context
+	targ   uint64
 }
 
 // eventHeap is a binary min-heap of events ordered by (t, seq). It is

@@ -90,6 +90,30 @@ func (s *Simulator) After(d Duration, fn func()) {
 	s.schedule(s.now.Add(d), fn)
 }
 
+// Ticker is a timer target for AfterTick. Tick runs in scheduler
+// context under the same rules as an After callback: it must not block
+// on kernel primitives.
+type Ticker interface {
+	Tick(arg uint64)
+}
+
+// AfterTick enqueues tk.Tick(arg) to run d from now, like After but
+// without allocating a closure: the event carries the receiver and one
+// opaque argument inline. Components that arm a timer per chunk or per
+// solve (doorbell interrupt delivery, flow-completion wakeups) use this
+// so the timer path stays allocation-free; the argument typically
+// carries a generation stamp for stale-event detection or a small
+// payload such as doorbell bits.
+func (s *Simulator) AfterTick(d Duration, tk Ticker, arg uint64) {
+	if tk == nil {
+		panic("sim: AfterTick with nil Ticker")
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.scheduleEvent(s.now.Add(d), event{ticker: tk, targ: arg})
+}
+
 // Go spawns a new process executing body and schedules it to start now.
 // The name is used in deadlock reports and traces.
 func (s *Simulator) Go(name string, body func(p *Proc)) *Proc {
@@ -211,9 +235,12 @@ loop:
 		default:
 			break loop
 		}
-		if ev.proc != nil {
+		switch {
+		case ev.proc != nil:
 			s.dispatch(ev.proc)
-		} else {
+		case ev.ticker != nil:
+			ev.ticker.Tick(ev.targ)
+		default:
 			ev.fn()
 		}
 	}

@@ -86,6 +86,20 @@ func (c *Completion) Wait(p *Proc) {
 	}
 }
 
+// Reset rearms a fired latch so the record can be pooled and reused.
+// The caller must guarantee no process still holds the latch from the
+// previous cycle: resetting with parked waiters, or before Complete has
+// fired, is a lifecycle bug and panics.
+func (c *Completion) Reset() {
+	if !c.done {
+		panic("sim: Reset of an unfired completion: " + c.name)
+	}
+	if len(c.cond.waiters) != 0 {
+		panic("sim: Reset of a completion with parked waiters: " + c.name)
+	}
+	c.done = false
+}
+
 // queueWaiter is a parked consumer with a handoff slot.
 type queueWaiter[T any] struct {
 	p     *Proc
