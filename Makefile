@@ -16,9 +16,10 @@ test:
 
 # Race-check the packages that touch the parallel experiment engine and
 # the zero-allocation transfer hot path: the kernel, the flow network,
-# the driver, the runtime, and the harness that fans worlds out.
+# the NTB devices, the driver, the fabric, the runtime, and the harness
+# that fans pooled worlds out across workers.
 race:
-	$(GO) test -race ./internal/sim ./internal/pcie ./internal/driver ./internal/core ./internal/bench
+	$(GO) test -race ./internal/sim ./internal/pcie ./internal/ntb ./internal/driver ./internal/fabric ./internal/core ./internal/bench
 
 vet:
 	$(GO) vet ./...
@@ -27,11 +28,21 @@ vet:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/pcie ./internal/driver ./internal/sim ./internal/core
 
-# One-iteration pass over every benchmark: catches benchmarks that
-# panic or regress to compile errors without paying for real timing runs
-# (CI runs this).
+# CI benchmark gate, three steps:
+#  1. one-iteration pass over every benchmark — catches benchmarks that
+#     panic or regress to compile errors without paying for timing runs;
+#  2. the gated benchmarks at a pinned -benchtime (so one-time world
+#     construction amortises identically run to run), checked against
+#     the committed allocs/op ceilings in bench_baseline.json;
+#  3. a fast reproduce run that writes BENCH.json: per-figure wall
+#     clock, worlds/s, pool hit rate, and the step-2 allocs/op numbers.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/pcie ./internal/driver ./internal/sim ./internal/core
+	$(GO) test -run xxx -bench 'BenchmarkWorldPut1M$$|BenchmarkFlowNetChurn$$' -benchmem -benchtime 500x \
+		./internal/core ./internal/pcie | tee bench_gate.out
+	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -input bench_gate.out
+	$(GO) run ./cmd/reproduce -skip-ablations -bench-json BENCH.json -bench-input bench_gate.out > /dev/null
+	rm -f bench_gate.out
 
 # Profile a full reproduce run; inspect with `go tool pprof cpu.pprof`
 # (or mem.pprof for the allocation profile).

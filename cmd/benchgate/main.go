@@ -1,0 +1,99 @@
+// Command benchgate enforces the allocation-regression gate in CI's
+// bench-smoke target. It reads `go test -bench -benchmem` output and
+// fails (exit 1) if any benchmark named in the committed baseline
+// exceeds its allocs/op ceiling, or is missing from the input — a
+// silently skipped benchmark must not pass the gate.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.json [-input bench.out]
+//
+// The baseline file maps benchmark names (without the -N GOMAXPROCS
+// suffix) to their maximum permitted allocs/op:
+//
+//	{"BenchmarkWorldPut1M": 2, "BenchmarkFlowNetChurn": 0}
+//
+// allocs/op ceilings rather than ns/op: allocation counts are exact and
+// machine-independent, so the gate never flakes on a loaded CI runner.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	baselineFile := flag.String("baseline", "bench_baseline.json", "JSON map of benchmark name -> max allocs/op")
+	input := flag.String("input", "", "benchmark output file (default stdin)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselineFile)
+	if err != nil {
+		fatal(err)
+	}
+	var baseline map[string]int64
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselineFile, err))
+	}
+	if len(baseline) == 0 {
+		fatal(fmt.Errorf("%s: empty baseline gates nothing", *baselineFile))
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := benchparse.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	byName := make(map[string]benchparse.Result, len(results))
+	for _, res := range results {
+		byName[res.Name] = res
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		limit := baseline[name]
+		res, ok := byName[name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-28s absent from benchmark output (limit %d allocs/op)\n", name, limit)
+			failed = true
+		case res.AllocsPerOp < 0:
+			fmt.Printf("FAIL %-28s has no allocs/op (run with -benchmem)\n", name)
+			failed = true
+		case res.AllocsPerOp > limit:
+			fmt.Printf("FAIL %-28s %d allocs/op, limit %d\n", name, res.AllocsPerOp, limit)
+			failed = true
+		default:
+			fmt.Printf("ok   %-28s %d allocs/op (limit %d)\n", name, res.AllocsPerOp, limit)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: allocation regression — raise the ceiling in the baseline only with a justifying commit")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

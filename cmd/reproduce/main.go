@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	reproduce [-skip-ablations] [-csv] [-j N]
+//	reproduce [-skip-ablations] [-csv] [-j N] [-world-pool=false] [-bench-json FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +18,36 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/benchparse"
 	"repro/internal/model"
 )
+
+// figureMetric is the host-side cost of producing one figure group.
+type figureMetric struct {
+	Name          string  `json:"name"`
+	WallSeconds   float64 `json:"wall_s"`
+	Worlds        uint64  `json:"worlds"`
+	VirtualEvents uint64  `json:"virtual_events"`
+}
+
+// benchReport is the machine-readable record of a reproduce run, written
+// by -bench-json (BENCH.json in CI's bench-smoke target).
+type benchReport struct {
+	Parallelism int            `json:"parallelism"`
+	WorldPool   bool           `json:"world_pool"`
+	Figures     []figureMetric `json:"figures"`
+	Totals      struct {
+		WallSeconds   float64 `json:"wall_s"`
+		Worlds        uint64  `json:"worlds"`
+		WorldsPerSec  float64 `json:"worlds_per_s"`
+		VirtualEvents uint64  `json:"virtual_events"`
+		PoolHits      uint64  `json:"pool_hits"`
+		PoolMisses    uint64  `json:"pool_misses"`
+	} `json:"totals"`
+	// Benchmarks carries `go test -bench -benchmem` results parsed from
+	// the -bench-input file (allocs/op for the gated benchmarks).
+	Benchmarks []benchparse.Result `json:"benchmarks,omitempty"`
+}
 
 func main() {
 	skipAblations := flag.Bool("skip-ablations", false, "only the paper's figures")
@@ -28,8 +57,12 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
+	worldPool := flag.Bool("world-pool", true, "recycle simulation worlds between sweep points (A/B switch for the pool)")
+	benchJSON := flag.String("bench-json", "", "write machine-readable run metrics (per-figure wall clock, worlds/s, allocs/op) to this file")
+	benchInput := flag.String("bench-input", "", "`go test -bench -benchmem` output to fold into the -bench-json benchmarks section")
 	flag.Parse()
 	bench.SetParallelism(*par)
+	bench.SetWorldPool(*worldPool)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -94,13 +127,17 @@ func main() {
 	start := time.Now()
 	fmt.Printf("platform profile: PCIe Gen%d x%d, wire %.2f GB/s, DMA engine %.2f GB/s\n",
 		mp.Gen, mp.Lanes, mp.EffectiveWireBW()/1e9, mp.DMAEngineBW/1e9)
-	fmt.Printf("parallel runner: %d workers (independent worlds only; virtual time is unaffected)\n\n",
-		bench.Parallelism())
+	fmt.Printf("parallel runner: %d workers (independent worlds only; virtual time is unaffected), world pool %s\n\n",
+		bench.Parallelism(), map[bool]string{true: "on", false: "off"}[bench.WorldPoolEnabled()])
+
+	report := benchReport{Parallelism: bench.Parallelism(), WorldPool: bench.WorldPoolEnabled()}
 
 	// timed produces one figure group, emits it, and reports the group's
 	// wall-clock cost so parallel-runner speedups are visible in the
-	// archived output.
+	// archived output. Worlds and virtual events are deltas of the global
+	// bench counters around the group.
 	timed := func(name string, produce func() []*bench.Figure) []*bench.Figure {
+		w0, e0 := bench.WorldsSimulated(), bench.VirtualEvents()
 		t0 := time.Now()
 		figs := produce()
 		elapsed := time.Since(t0)
@@ -108,6 +145,12 @@ func main() {
 			emit(f)
 		}
 		fmt.Printf("[%s: %.2fs wall]\n\n", name, elapsed.Seconds())
+		report.Figures = append(report.Figures, figureMetric{
+			Name:          name,
+			WallSeconds:   elapsed.Seconds(),
+			Worlds:        bench.WorldsSimulated() - w0,
+			VirtualEvents: bench.VirtualEvents() - e0,
+		})
 		return figs
 	}
 	one := func(f func() *bench.Figure) func() []*bench.Figure {
@@ -143,7 +186,40 @@ func main() {
 	}
 	elapsed := time.Since(start).Seconds()
 	worlds := bench.WorldsSimulated()
-	fmt.Printf("simulated %d worlds in %.1f s (%.1f worlds/s, par=%d)\n",
-		worlds, elapsed, float64(worlds)/elapsed, bench.Parallelism())
+	hits, misses := bench.WorldPoolStats()
+	fmt.Printf("simulated %d worlds in %.1f s (%.1f worlds/s, par=%d, pool %d hits / %d misses)\n",
+		worlds, elapsed, float64(worlds)/elapsed, bench.Parallelism(), hits, misses)
 	fmt.Println("(all reported numbers are virtual-time measurements; wall times above are host-side cost)")
+
+	if *benchJSON != "" {
+		report.Totals.WallSeconds = elapsed
+		report.Totals.Worlds = worlds
+		report.Totals.WorldsPerSec = float64(worlds) / elapsed
+		report.Totals.VirtualEvents = bench.VirtualEvents()
+		report.Totals.PoolHits = hits
+		report.Totals.PoolMisses = misses
+		if *benchInput != "" {
+			f, err := os.Open(*benchInput)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+			report.Benchmarks, err = benchparse.Parse(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+		}
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/model"
@@ -20,7 +22,8 @@ import (
 // of n hosts under the given algorithm.
 func MeasureBarrierLatency(par *model.Params, algo core.BarrierAlgo, n, reps int) float64 {
 	var total sim.Duration
-	runRingWorld(par, n, core.Options{Barrier: algo}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("barrier %s/n=%d", algo, n)
+	runRingWorld(label, par, n, core.Options{Barrier: algo}, func(p *sim.Proc, pe *core.PE) {
 		pe.BarrierAll(p)
 		for r := 0; r < reps; r++ {
 			start := p.Now()
@@ -181,7 +184,9 @@ func RunAblationBroadcast(par *model.Params) *Figure {
 		sizes = append(sizes, size)
 	}
 	type lp struct{ linear, pipe float64 }
-	vals := runPoints(sizes, func(size int) lp {
+	vals := runPointsCost(sizes, func(_ int, size int) float64 {
+		return float64(size)
+	}, func(size int) lp {
 		l, pl := MeasureBroadcast(par, 6, size)
 		return lp{l, pl}
 	})
@@ -199,7 +204,8 @@ func RunAblationBroadcast(par *model.Params) *Figure {
 func MeasureBroadcast(par *model.Params, n, size int) (linearUS, pipeUS float64) {
 	run := func(pipelined bool) float64 {
 		var us float64
-		runRingWorld(par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
+		label := fmt.Sprintf("broadcast pipelined=%v/n=%d/size=%d", pipelined, n, size)
+		runRingWorld(label, par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 			sym := pe.MustMalloc(p, size)
 			pe.BarrierAll(p)
 			start := p.Now()
@@ -251,7 +257,8 @@ func RunCollectiveLatency(par *model.Params) *Figure {
 func MeasureCollectives(par *model.Params, n, size int) map[string]float64 {
 	out := map[string]float64{}
 	elems := size / 8
-	runRingWorld(par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("collectives n=%d/size=%d", n, size)
+	runRingWorld(label, par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 		src := pe.MustMalloc(p, size)
 		dst := pe.MustMalloc(p, size*n)
 		pe.BarrierAll(p)
@@ -350,7 +357,8 @@ func MeasurePipelined(par *model.Params, depth, size, reps int) (putUS, getUS fl
 	if depth >= 2 {
 		opt.Pipeline = depth
 	}
-	runRingWorld(par, 3, opt, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("pipelined depth=%d/size=%d", depth, size)
+	runRingWorld(label, par, 3, opt, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -393,7 +401,9 @@ func RunTwoSidedComparison(par *model.Params) *Figure {
 	send := Series{Label: "send/recv"}
 	sizes := Sizes()
 	type ps struct{ put, send float64 }
-	vals := runPoints(sizes, func(size int) ps {
+	vals := runPointsCost(sizes, func(_ int, size int) float64 {
+		return float64(size)
+	}, func(size int) ps {
 		pl, sl := MeasureTwoSided(par, size, 5)
 		return ps{pl, sl}
 	})
@@ -408,7 +418,8 @@ func RunTwoSidedComparison(par *model.Params) *Figure {
 // MeasureTwoSided returns (put, send) mean latencies in microseconds for
 // one-hop transfers of the given size.
 func MeasureTwoSided(par *model.Params, size, reps int) (putUS, sendUS float64) {
-	runRingWorld(par, 3, core.Options{}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("two-sided size=%d", size)
+	runRingWorld(label, par, 3, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		data := make([]byte, size)
 		pe.BarrierAll(p)
@@ -479,7 +490,8 @@ func RunAblationRouting(par *model.Params) *Figure {
 // n-host ring under the given routing policy.
 func MeasureGetRouted(par *model.Params, routing core.Routing, n, dst, size int) float64 {
 	var us float64
-	runRingWorld(par, n, core.Options{Routing: routing}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("get-routed %s/n=%d/dst=%d/size=%d", routing, n, dst, size)
+	runRingWorld(label, par, n, core.Options{Routing: routing}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -498,7 +510,8 @@ func MeasureGetRouted(par *model.Params, routing core.Routing, n, dst, size int)
 // MeasureFarthest measures put and get latency (us) from PE 0 to the
 // farthest PE of an n-host ring at the given size (5-rep averages).
 func MeasureFarthest(par *model.Params, n, size int) (putUS, getUS float64) {
-	runRingWorld(par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("farthest n=%d/size=%d", n, size)
+	runRingWorld(label, par, n, core.Options{}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)

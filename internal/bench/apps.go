@@ -34,11 +34,11 @@ func AppConfigs() []AppConfig {
 	}
 }
 
-// runApp executes body on a fresh n-host ring and returns the virtual
-// time from the post-init barrier to job completion, in microseconds.
-func runApp(par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) float64 {
+// runApp executes body on an n-host ring and returns the virtual time
+// from the post-init barrier to job completion, in microseconds.
+func runApp(label string, par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) float64 {
 	var start, end sim.Time
-	runRingWorld(par, n, opts, func(p *sim.Proc, pe *core.PE) {
+	runRingWorld(label, par, n, opts, func(p *sim.Proc, pe *core.PE) {
 		pe.BarrierAll(p)
 		if pe.ID() == 0 {
 			start = p.Now()
@@ -61,7 +61,8 @@ func AppHeat1D(par *model.Params, opts core.Options, hosts, cells, steps int) fl
 		panic("bench: cells must divide among hosts")
 	}
 	local := cells / hosts
-	return runApp(par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("app heat1d/hosts=%d/pipeline=%d/%s", hosts, opts.Pipeline, opts.Mode)
+	return runApp(label, par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
 		n := pe.NumPEs()
 		field := pe.MustMalloc(p, (local+2)*8)
 		u := make([]float64, local+2)
@@ -130,7 +131,8 @@ func AppMatmul(par *model.Params, opts core.Options, hosts, dim int) float64 {
 			probe[j] += a * B[k*dim+j]
 		}
 	}
-	return runApp(par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("app matmul/hosts=%d/pipeline=%d/%s", hosts, opts.Pipeline, opts.Mode)
+	return runApp(label, par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
 		me, n := pe.ID(), pe.NumPEs()
 		stripe := mb * dim
 		next := pe.MustMalloc(p, stripe*8)
@@ -174,7 +176,8 @@ func AppMatmul(par *model.Params, opts core.Options, hosts, dim int) float64 {
 // self-verifies the bucket boundaries. Returns virtual microseconds.
 func AppIntSort(par *model.Params, opts core.Options, hosts, perPE int) float64 {
 	const keyRange = 1 << 16
-	return runApp(par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("app intsort/hosts=%d/pipeline=%d/%s", hosts, opts.Pipeline, opts.Mode)
+	return runApp(label, par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
 		n := pe.NumPEs()
 		me := pe.ID()
 		rng := rand.New(rand.NewSource(int64(me) * 31))

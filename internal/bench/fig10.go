@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/model"
@@ -19,7 +21,8 @@ const fig10Reps = 10
 // BarrierAll issued immediately after a put of the given size.
 func MeasureBarrierAfterPut(par *model.Params, mode driver.Mode, hops, size, reps int) float64 {
 	var total sim.Duration
-	runRingWorld(par, 3, core.Options{Mode: mode}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("barrier-after-put %s/hops=%d/size=%d", mode, hops, size)
+	runRingWorld(label, par, 3, core.Options{Mode: mode}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -57,7 +60,9 @@ func RunFig10(par *model.Params) *Figure {
 			keys = append(keys, cellKey{gi, size})
 		}
 	}
-	vals := runPoints(keys, func(k cellKey) float64 {
+	vals := runPointsCost(keys, func(_ int, k cellKey) float64 {
+		return float64(k.size) * float64(1+grid[k.gi].hops)
+	}, func(k cellKey) float64 {
 		cfg := grid[k.gi]
 		return MeasureBarrierAfterPut(par, cfg.mode, cfg.hops, k.size, fig10Reps)
 	})

@@ -45,8 +45,9 @@ func Fig8Independent(par *model.Params, linkIdx, size int) float64 {
 		tput = rawDMAStream(p, c.Hosts[0].Right, size, fig8Reps)
 	})
 	if err := s.Run(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("bench: fig8-independent link=%d size=%d: %v", linkIdx, size, err))
 	}
+	worldEvents.Add(s.EventsExecuted())
 	s.Shutdown()
 	return tput
 }
@@ -66,8 +67,9 @@ func Fig8Ring(par *model.Params, n, size int) []float64 {
 		})
 	}
 	if err := s.Run(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("bench: fig8-ring n=%d size=%d: %v", n, size, err))
 	}
+	worldEvents.Add(s.EventsExecuted())
 	s.Shutdown()
 	return tputs
 }
@@ -87,7 +89,9 @@ func RunFig8(par *model.Params) []*Figure {
 		ring  []float64
 		indep [3]float64
 	}
-	cells := runPoints(sizes, func(size int) cell {
+	cells := runPointsCost(sizes, func(_ int, size int) float64 {
+		return float64(size)
+	}, func(size int) cell {
 		var c cell
 		c.ring = Fig8Ring(par, 3, size)
 		for l := 0; l < 3; l++ {

@@ -37,7 +37,8 @@ func (o Op) String() string {
 // ring and returns the mean per-operation latency in microseconds.
 func MeasureShmemOp(par *model.Params, op Op, mode driver.Mode, hops, size, reps int) float64 {
 	var mean float64
-	runRingWorld(par, 3, core.Options{Mode: mode}, func(p *sim.Proc, pe *core.PE) {
+	label := fmt.Sprintf("shmem-op %s/%s/hops=%d/size=%d", op, mode, hops, size)
+	runRingWorld(label, par, 3, core.Options{Mode: mode}, func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, size)
 		buf := make([]byte, size)
 		pe.BarrierAll(p)
@@ -108,7 +109,11 @@ func RunFig9(par *model.Params) []*Figure {
 		}
 	}
 	type cellVal struct{ putLat, getLat float64 }
-	cells := runPoints(keys, func(k cellKey) cellVal {
+	// Large requests simulate many more chunk cycles than small ones;
+	// claiming them first keeps the parallel tail short.
+	cells := runPointsCost(keys, func(_ int, k cellKey) float64 {
+		return float64(k.size) * float64(1+grid[k.gi].hops)
+	}, func(k cellKey) cellVal {
 		cfg := grid[k.gi]
 		return cellVal{
 			putLat: MeasureShmemOp(par, OpPut, cfg.mode, cfg.hops, k.size, fig9Reps),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -57,6 +58,46 @@ func ResetWorldCount() { worldCount.Store(0) }
 // worlds outside this package can keep the summary honest with this.
 func CountWorld() { worldCount.Add(1) }
 
+// worldEvents tallies virtual events dispatched across all bench worlds —
+// the kernel-level cost of everything simulated so far.
+var worldEvents atomic.Uint64
+
+// VirtualEvents reports the total virtual events executed by worlds run
+// through this package since process start.
+func VirtualEvents() uint64 { return worldEvents.Load() }
+
+// pointCosts records the measured virtual-event count of each labelled
+// world run, keyed by the runRingWorld label. Sweeps consult these to
+// sanity-check the static cost estimates they hand RunPointsOrdered.
+var pointCosts struct {
+	sync.Mutex
+	m map[string]uint64
+}
+
+func recordPointCost(label string, events uint64) {
+	if label == "" {
+		return
+	}
+	pointCosts.Lock()
+	if pointCosts.m == nil {
+		pointCosts.m = make(map[string]uint64)
+	}
+	pointCosts.m[label] += events
+	pointCosts.Unlock()
+}
+
+// PointCosts returns a copy of the per-label virtual-event tallies
+// accumulated by labelled world runs.
+func PointCosts() map[string]uint64 {
+	pointCosts.Lock()
+	defer pointCosts.Unlock()
+	out := make(map[string]uint64, len(pointCosts.m))
+	for k, v := range pointCosts.m {
+		out[k] = v
+	}
+	return out
+}
+
 // RunPoints fans fn over points across par workers and returns the
 // results in point order. fn must be safe to call concurrently for
 // distinct points (the Run* sweeps satisfy this: every point builds its
@@ -64,6 +105,19 @@ func CountWorld() { worldCount.Add(1) }
 // results for unclaimed points are left as zero values. A panic in fn is
 // re-raised on the calling goroutine after all workers have stopped.
 func RunPoints[T, R any](ctx context.Context, par int, points []T, fn func(T) R) []R {
+	return RunPointsOrdered(ctx, par, points, nil, fn)
+}
+
+// RunPointsOrdered is RunPoints with cost-aware claiming: costs[i]
+// estimates point i's simulation cost (any monotone proxy — bytes moved,
+// virtual events from a previous run), and workers claim points
+// largest-estimate-first so no worker is left grinding through the
+// heaviest point after its siblings have drained the cheap ones. Results
+// are still slotted by original point index, so the returned slice — and
+// any figure built from it — is byte-identical to RunPoints at any
+// worker count and any cost vector. A nil or mis-sized costs falls back
+// to claim-in-index-order.
+func RunPointsOrdered[T, R any](ctx context.Context, par int, points []T, costs []float64, fn func(T) R) []R {
 	results := make([]R, len(points))
 	if len(points) == 0 {
 		return results
@@ -77,13 +131,22 @@ func RunPoints[T, R any](ctx context.Context, par int, points []T, fn func(T) R)
 	if par > len(points) {
 		par = len(points)
 	}
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	if len(costs) == len(points) {
+		sort.SliceStable(order, func(a, b int) bool {
+			return costs[order[a]] > costs[order[b]]
+		})
+	}
 	if par == 1 {
 		// Serial fast path: no goroutines, same claim order.
-		for i, pt := range points {
+		for _, i := range order {
 			if ctx.Err() != nil {
 				break
 			}
-			results[i] = fn(pt)
+			results[i] = fn(points[i])
 		}
 		return results
 	}
@@ -97,10 +160,11 @@ func RunPoints[T, R any](ctx context.Context, par int, points []T, fn func(T) R)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(points) || ctx.Err() != nil {
+				c := int(next.Add(1)) - 1
+				if c >= len(order) || ctx.Err() != nil {
 					return
 				}
+				i := order[c]
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -128,16 +192,53 @@ func runPoints[T, R any](points []T, fn func(T) R) []R {
 	return RunPoints(context.Background(), Parallelism(), points, fn)
 }
 
-// runRingWorld builds an n-host ring world, drives body on every PE to
-// completion, and tears the simulator down. It panics on simulation
-// error (measurement harnesses have no recovery story) and counts the
-// world for the throughput summary.
-func runRingWorld(par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) {
+// runPointsCost is runPoints with a per-point cost estimate, for sweeps
+// whose points have predictably uneven weight (latency sweeps over block
+// sizes, mostly). cost receives the point's index and value.
+func runPointsCost[T, R any](points []T, cost func(i int, pt T) float64, fn func(T) R) []R {
+	costs := make([]float64, len(points))
+	for i, pt := range points {
+		costs[i] = cost(i, pt)
+	}
+	return RunPointsOrdered(context.Background(), Parallelism(), points, costs, fn)
+}
+
+// runRingWorld drives body on every PE of an n-host ring world to
+// completion. With the world pool enabled (the default) it checks out a
+// warm world for the (params, n, options) shape — or builds one on a
+// miss — and after a clean run resets and returns it; reset worlds are
+// indistinguishable from fresh ones (see core.World.Reset), so results
+// do not depend on pool state. With the pool disabled every run builds
+// and tears down its own world, as the pre-pool engine did.
+//
+// label names the figure/point for panic attribution and the per-point
+// virtual-event record. runRingWorld panics on simulation error
+// (measurement harnesses have no recovery story) and counts the world
+// for the throughput summary.
+func runRingWorld(label string, par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) {
 	worldCount.Add(1)
-	s := sim.New()
-	c := fabric.NewRing(s, par, n)
-	w := core.NewWorld(c, opts)
-	if err := w.Run(body); err != nil {
+	w, poolable := checkoutWorld(par, n, opts)
+	if w == nil {
+		s := sim.New()
+		c := fabric.NewRing(s, par, n)
+		w = core.NewWorld(c, opts)
+	}
+	err := w.RunKeep(body)
+	worldEvents.Add(w.Cluster.Sim.EventsExecuted())
+	recordPointCost(label, w.Cluster.Sim.EventsExecuted())
+	if err != nil {
+		// A failed world is not resettable; release its goroutines
+		// before surfacing the failure with its point label.
+		w.Cluster.Sim.Shutdown()
+		if label != "" {
+			panic(fmt.Sprintf("bench: %s: %v", label, err))
+		}
 		panic(err)
 	}
+	if !poolable {
+		w.Cluster.Sim.Shutdown()
+		return
+	}
+	w.Reset()
+	checkinWorld(w, n, opts)
 }

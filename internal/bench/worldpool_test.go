@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// runTinyWorld drives one labelled 3-host world through runRingWorld
+// and returns the completion time observed by PE 0.
+func runTinyWorld(par *model.Params, opts core.Options) sim.Time {
+	var end sim.Time
+	runRingWorld("worldpool-test", par, 3, opts, func(p *sim.Proc, pe *core.PE) {
+		sym := pe.MustMalloc(p, 4096)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.PutBytes(p, 1, sym, make([]byte, 4096))
+		}
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			end = p.Now()
+		}
+	})
+	return end
+}
+
+func TestWorldPoolRecyclesAndMatchesFresh(t *testing.T) {
+	if !WorldPoolEnabled() {
+		t.Fatal("world pool should be enabled by default")
+	}
+	DrainWorldPool()
+	par := model.Default()
+
+	h0, m0 := WorldPoolStats()
+	first := runTinyWorld(par, core.Options{})
+	h1, m1 := WorldPoolStats()
+	if h1 != h0 || m1 != m0+1 {
+		t.Fatalf("first run: hits %d->%d misses %d->%d, want one miss", h0, h1, m0, m1)
+	}
+	second := runTinyWorld(par, core.Options{})
+	h2, m2 := WorldPoolStats()
+	if h2 != h1+1 || m2 != m1 {
+		t.Fatalf("second run: hits %d->%d misses %d->%d, want one hit", h1, h2, m1, m2)
+	}
+	if first != second {
+		t.Fatalf("recycled world diverged: fresh %v, pooled %v", first, second)
+	}
+
+	// Pool disabled: same virtual result, no pool traffic.
+	SetWorldPool(false)
+	defer SetWorldPool(true)
+	h3, m3 := WorldPoolStats()
+	bare := runTinyWorld(par, core.Options{})
+	if h4, m4 := WorldPoolStats(); h4 != h3 || m4 != m3 {
+		t.Fatalf("disabled pool still counted traffic: hits %d->%d misses %d->%d", h3, h4, m3, m4)
+	}
+	if bare != first {
+		t.Fatalf("pool on/off diverged: %v vs %v", first, bare)
+	}
+}
+
+func TestWorldPoolDetectsMutatedParams(t *testing.T) {
+	DrainWorldPool()
+	par := model.Default().Clone()
+	runTinyWorld(par, core.Options{})
+
+	// A sweep reusing one clone across points mutates it between runs;
+	// the pooled world's own params fingerprint no longer matches and
+	// checkout must treat it as a miss, not hand back a stale world.
+	par.PutChunk *= 2
+	h0, m0 := WorldPoolStats()
+	runTinyWorld(par, core.Options{})
+	h1, m1 := WorldPoolStats()
+	if h1 != h0 {
+		t.Fatalf("stale-params world was reused (hits %d->%d)", h0, h1)
+	}
+	if m1 != m0+1 {
+		t.Fatalf("stale-params checkout not counted as a miss (%d->%d)", m0, m1)
+	}
+}
+
+func TestRunPointsOrderedCostOrderIsInvisible(t *testing.T) {
+	points := []int{10, 20, 30, 40, 50}
+	fn := func(x int) int { return x * x }
+	want := RunPoints(context.Background(), 1, points, fn)
+
+	for _, costs := range [][]float64{
+		{1, 2, 3, 4, 5}, // ascending: claims run reverse
+		{5, 4, 3, 2, 1}, // descending: claims run forward
+		{3, 3, 3, 3, 3}, // ties: stable order by index
+		{2, 9},          // wrong length: ignored
+		nil,             // absent
+	} {
+		for _, par := range []int{1, 4} {
+			got := RunPointsOrdered(context.Background(), par, points, costs, fn)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("costs=%v par=%d: result[%d] = %d, want %d", costs, par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package benchparse reads the text output of `go test -bench -benchmem`
+// into structured results, for the allocation regression gate
+// (cmd/benchgate) and the machine-readable run metrics (cmd/reproduce
+// -bench-json). Only the standard benchmark line format is understood:
+//
+//	BenchmarkName-8   100   12345 ns/op   678 B/op   9 allocs/op
+//
+// Sub-benchmarks keep their slash-separated names; the trailing -N
+// GOMAXPROCS suffix is stripped so results are comparable across
+// machines.
+package benchparse
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Metrics that were absent from the
+// line (a run without -benchmem) are -1.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// trimProcs removes the -N GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Parse reads benchmark lines from r, skipping everything that is not
+// one. Duplicate names (e.g. -count runs) keep the last occurrence.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	byName := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if i, dup := byName[res.Name]; dup {
+			out[i] = res
+			continue
+		}
+		byName[res.Name] = len(out)
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{
+		Name:        trimProcs(fields[0]),
+		Iterations:  iters,
+		NsPerOp:     -1,
+		BytesPerOp:  -1,
+		AllocsPerOp: -1,
+	}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				res.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = v
+			}
+		}
+	}
+	if res.NsPerOp < 0 {
+		return Result{}, false
+	}
+	return res, true
+}

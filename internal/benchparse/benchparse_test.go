@@ -1,0 +1,54 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const out = `
+goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkWorldSpawnTeardown-8       100     1234567 ns/op    45678 B/op     910 allocs/op
+BenchmarkWorldPut1M-8                50     2345678 ns/op      100 B/op       2 allocs/op
+BenchmarkFlowNetChurn-16        1000000        1234 ns/op        0 B/op       0 allocs/op
+BenchmarkNoMem-8                   2000        5678 ns/op
+PASS
+ok      repro/internal/core 3.456s
+`
+	got, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+	r := got[1]
+	if r.Name != "BenchmarkWorldPut1M" || r.Iterations != 50 || r.AllocsPerOp != 2 || r.BytesPerOp != 100 {
+		t.Errorf("unexpected result: %+v", r)
+	}
+	if got[2].Name != "BenchmarkFlowNetChurn" || got[2].AllocsPerOp != 0 {
+		t.Errorf("unexpected result: %+v", got[2])
+	}
+	if got[3].AllocsPerOp != -1 || got[3].BytesPerOp != -1 {
+		t.Errorf("missing -benchmem fields should be -1: %+v", got[3])
+	}
+	if got[3].NsPerOp != 5678 {
+		t.Errorf("ns/op = %v, want 5678", got[3].NsPerOp)
+	}
+}
+
+func TestParseDuplicatesKeepLast(t *testing.T) {
+	const out = `
+BenchmarkX-8   100   200 ns/op   0 B/op   1 allocs/op
+BenchmarkX-8   100   150 ns/op   0 B/op   1 allocs/op
+`
+	got, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].NsPerOp != 150 {
+		t.Fatalf("want single result with last ns/op, got %+v", got)
+	}
+}

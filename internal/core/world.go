@@ -360,6 +360,72 @@ func (w *World) Run(body func(p *sim.Proc, pe *PE)) error {
 	return err
 }
 
+// RunKeep is Run without the teardown: the world's daemons stay parked
+// and its object graph stays live, so a subsequent Reset can recycle the
+// world for another body. A world run this way must eventually be either
+// Reset and rerun or shut down via Cluster.Sim.Shutdown — dropping it
+// while daemons are parked leaks their goroutines.
+func (w *World) RunKeep(body func(p *sim.Proc, pe *PE)) error {
+	w.Launch(body)
+	return w.Cluster.Sim.Run()
+}
+
+// Reset rewinds a cleanly finished world (a nil-error RunKeep) to its
+// just-constructed state: every PE's symmetric heap, barrier and request
+// state return to power-on values, the fabric's device registers and
+// dirty window extents are cleared, and the simulator returns to time
+// zero. Service and forwarder daemons stay parked on their queues,
+// doorbell handlers stay installed, and warm buffers (heap chunks,
+// staging pool, event-heap backing) are retained. Because every layer's
+// reset restores exactly the state a fresh construction would produce,
+// a reset world replays any body with an event trace identical to a
+// fresh world's — the invariant the bench world pool is built on.
+func (w *World) Reset() {
+	for _, pe := range w.pes {
+		pe.reset()
+	}
+	w.Cluster.Reset()
+}
+
+// reset returns one PE to its just-constructed state. It panics if the
+// runtime is not quiescent — pending requests, staged forwards, or
+// un-drained service work mean the previous run did not complete cleanly
+// and the world must be discarded instead of pooled.
+func (pe *PE) reset() {
+	if pe.svcActive || pe.svcQ.Len() != 0 || pe.fwdBusy != 0 || pe.fwdQ.Len() != 0 {
+		panic(fmt.Sprintf("core: reset of pe %d with service work outstanding", pe.id))
+	}
+	if n := pe.startQ.Len() + pe.endQ.Len() + pe.startQL.Len() + pe.endQL.Len(); n != 0 {
+		panic(fmt.Sprintf("core: reset of pe %d with %d barrier token(s) queued", pe.id, n))
+	}
+	if len(pe.pending) != 0 {
+		panic(fmt.Sprintf("core: reset of pe %d with %d pending request(s)", pe.id, len(pe.pending)))
+	}
+	if pe.outstanding != 0 {
+		panic(fmt.Sprintf("core: reset of pe %d with %d non-blocking op(s) outstanding", pe.id, pe.outstanding))
+	}
+	pe.heap.Reset()
+	pe.finalized = false
+	pe.barrierEpoch = 0
+	clear(pe.ctl)
+	clear(pe.pSyncCounts)
+	pe.nextTag = 0
+	pe.matchTable = 0
+	pe.matchTableReady = false
+	pe.contexts = pe.contexts[:0]
+	pe.nextCtxID = 0
+	pe.stats = Stats{}
+	if tx, ok := pe.txLeftS.(*driver.PipeTx); ok {
+		tx.Reset()
+	}
+	if tx, ok := pe.txRightS.(*driver.PipeTx); ok {
+		tx.Reset()
+	}
+	for _, rx := range pe.rxByPort {
+		rx.Reset()
+	}
+}
+
 // PEs returns the world's processing elements in Id order.
 func (w *World) PEs() []*PE { return w.pes }
 

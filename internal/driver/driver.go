@@ -260,6 +260,17 @@ func NewTxChannel(ep *Endpoint, par *model.Params) *TxChannel {
 // the trace).
 func (tx *TxChannel) Sends() uint64 { return tx.sends }
 
+// Reset prepares the channel for another run on a recycled world. The
+// stop-and-wait cycle leaves nothing in flight between sends, so a clean
+// run can only leave the channel idle; Reset asserts that and rewinds the
+// send counter. The mutex, ACK queue, and scratch buffer stay warm.
+func (tx *TxChannel) Reset() {
+	if n := tx.acks.Len(); n != 0 {
+		panic(fmt.Sprintf("driver: reset of tx %s with %d unconsumed ACK(s)", tx.ep.Port.Name(), n))
+	}
+	tx.sends = 0
+}
+
 // SendChunk moves one chunk (payload may be empty for pure-register
 // messages) into the peer window named by info.Region, publishes info,
 // rings the kind's vector, and waits for the ACK. It blocks the caller

@@ -155,6 +155,20 @@ func (tx *PipeTx) MaxPayload() int { return tx.slotBytes - SlotHeaderBytes }
 // Sends reports chunks pushed.
 func (tx *PipeTx) Sends() uint64 { return tx.sends }
 
+// Reset rewinds the sender for a recycled world: slot cursor and
+// sequence return to their power-on values so the next run's slot
+// assignment replays identically. All credits must have been returned —
+// a clean run drains the pipeline before its final barrier.
+func (tx *PipeTx) Reset() {
+	if free := tx.credits.Free(); free != tx.credits.Capacity() {
+		panic(fmt.Sprintf("driver: reset of pipe-tx %s with %d credit(s) outstanding",
+			tx.ep.Port.Name(), tx.credits.Capacity()-free))
+	}
+	tx.nextSlot = 0
+	tx.seq = 0
+	tx.sends = 0
+}
+
 // SendChunk implements Sender: take a credit, fill the next slot
 // (header and payload in one wire transfer), ring the kind's vector, and
 // return — local completion only.
@@ -209,6 +223,10 @@ type PipeRx struct {
 func NewPipeRx(port *ntb.Port, par *model.Params, slots int) *PipeRx {
 	return &PipeRx{port: port, slots: slots, slotBytes: par.WindowSize / slots}
 }
+
+// Reset rewinds the receiver's sequence cursor. The slots themselves are
+// device-window state; the port's dirty-extent reset re-zeroes them.
+func (rx *PipeRx) Reset() { rx.expect = 0 }
 
 // Next returns the next in-order message, if one is ready: its Info, the
 // payload window slice (valid until Release), and true. The caller must

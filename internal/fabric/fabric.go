@@ -111,6 +111,33 @@ func (h *Host) finishSides(par *model.Params) {
 	}
 }
 
+// Reset returns every device in the cluster to power-on state — NTB
+// ports (scratchpads, doorbells, dirty window extents), transmit
+// channels, the flow network — and rewinds the shared simulator to time
+// zero. The object graph itself (ports, routes, endpoints, device
+// daemons) survives, which is the entire point: a reset cluster replays
+// the boot exchange with fresh registers but none of the construction
+// cost. Worlds with failure injection (an unplugged cable) are not
+// resettable: the wedged DMA daemon makes the simulator refuse anyway.
+func (c *Cluster) Reset() {
+	for _, h := range c.Hosts {
+		if h.Left != nil {
+			h.Left.Reset()
+		}
+		if h.Right != nil {
+			h.Right.Reset()
+		}
+		if h.TxLeft != nil {
+			h.TxLeft.Reset()
+		}
+		if h.TxRight != nil {
+			h.TxRight.Reset()
+		}
+	}
+	c.Net.Reset()
+	c.Sim.Reset()
+}
+
 // CutLink fails the cable between host i and host (i+1) mod N, for
 // failure injection (see ntb.Port.Unplug for the resulting semantics).
 func (c *Cluster) CutLink(i int) {

@@ -46,6 +46,13 @@ type Heap struct {
 	blocks    []block // sorted by offset, covering [0, len(chunks)*chunkSize)
 	live      int     // number of live allocations
 	liveBytes int64
+
+	// written is the high-water mark of bytes that may have been modified
+	// since construction or the last Reset. Every mutating access path
+	// (Write, and the writable aliases handed out by Segments) raises it,
+	// so Reset can restore the fresh-heap all-zero guarantee by clearing
+	// only [0, written) instead of the whole grown extent.
+	written int64
 }
 
 // NewHeap returns an empty heap that grows in chunkSize steps up to
@@ -266,8 +273,20 @@ func (h *Heap) checkRange(off int64, n int) {
 
 // Segments invokes fn over the physical byte runs backing the virtual
 // range [off, off+n), in address order. It is the zero-copy access path:
-// the slices alias heap storage.
+// the slices alias heap storage, so the range is conservatively recorded
+// as written (use Read for a non-marking copy).
 func (h *Heap) Segments(off int64, n int, fn func(seg []byte)) {
+	h.markWritten(off, n)
+	h.segments(off, n, fn)
+}
+
+func (h *Heap) markWritten(off int64, n int) {
+	if end := off + int64(n); end > h.written {
+		h.written = end
+	}
+}
+
+func (h *Heap) segments(off int64, n int, fn func(seg []byte)) {
 	h.checkRange(off, n)
 	for n > 0 {
 		ci := off / h.chunkSize
@@ -284,7 +303,8 @@ func (h *Heap) Segments(off int64, n int, fn func(seg []byte)) {
 
 // Write copies data into the heap at virtual offset off.
 func (h *Heap) Write(off int64, data []byte) {
-	h.Segments(off, len(data), func(seg []byte) {
+	h.markWritten(off, len(data))
+	h.segments(off, len(data), func(seg []byte) {
 		copy(seg, data[:len(seg)])
 		data = data[len(seg):]
 	})
@@ -292,10 +312,37 @@ func (h *Heap) Write(off int64, data []byte) {
 
 // Read copies len(buf) bytes from virtual offset off into buf.
 func (h *Heap) Read(off int64, buf []byte) {
-	h.Segments(off, len(buf), func(seg []byte) {
+	h.segments(off, len(buf), func(seg []byte) {
 		copy(buf[:len(seg)], seg)
 		buf = buf[len(seg):]
 	})
+}
+
+// Reset drops every allocation and rezeroes the written extent, returning
+// the heap to a state indistinguishable from freshly constructed while
+// keeping the physical chunks. Because grow costs nothing in virtual time
+// and first-fit over a single leading free block assigns the same offsets
+// a demand-grown fresh heap would, an allocation sequence replayed after
+// Reset yields byte-identical placement — the property pooled simulation
+// worlds rely on.
+func (h *Heap) Reset() {
+	remaining := h.written
+	for ci := 0; remaining > 0; ci++ {
+		chunk := h.chunks[ci]
+		n := int64(len(chunk))
+		if remaining < n {
+			n = remaining
+		}
+		clear(chunk[:n])
+		remaining -= n
+	}
+	h.written = 0
+	h.live = 0
+	h.liveBytes = 0
+	h.blocks = h.blocks[:0]
+	if size := h.Size(); size > 0 {
+		h.blocks = append(h.blocks, block{off: 0, size: size, free: true})
+	}
 }
 
 // BlockOf returns the base offset and size of the live allocation

@@ -87,6 +87,14 @@ type Port struct {
 	isr    func(bits uint16)
 
 	inbound [numRegions][]byte
+	// winDirty brackets the bytes of each inbound window that writes may
+	// have touched since construction or the last Reset. Every mutation
+	// path (CPUWrite stores, the DMA engine's copy-in) records its extent;
+	// in-place protocol edits such as a pipelined receiver clearing a
+	// slot's valid byte land inside an extent some transfer already
+	// dirtied. Reset rezeroes only these brackets, so a world that never
+	// touched a window pays nothing to recycle it.
+	winDirty [numRegions]extent
 
 	// Requester-ID lookup table (the paper's "LUT entry mapping for NTB
 	// device identification"): when enforced, inbound window
@@ -249,6 +257,48 @@ func (p *Port) window(r Region) []byte {
 	return p.inbound[r]
 }
 
+// extent is a half-open dirty range [lo, hi) within a window; lo == hi
+// means untouched.
+type extent struct{ lo, hi int }
+
+// markDirty widens region r's dirty extent to cover [off, off+n).
+func (p *Port) markDirty(r Region, off, n int) {
+	if n <= 0 {
+		return
+	}
+	d := &p.winDirty[r]
+	if d.lo == d.hi {
+		d.lo, d.hi = off, off+n
+		return
+	}
+	if off < d.lo {
+		d.lo = off
+	}
+	if end := off + n; end > d.hi {
+		d.hi = end
+	}
+}
+
+// Reset returns the port's register surface and windows to power-on
+// state — scratchpads, doorbell status, and doorbell mask cleared, dirty
+// window extents rezeroed — without releasing any storage. The LUT is
+// retained: boot reprograms it with the same entries, and no window
+// transaction precedes boot, so an already-enforced LUT admits exactly
+// what a not-yet-enforced one would. The ISR registration and DMA engine
+// (with its parked daemon) survive as well.
+func (p *Port) Reset() {
+	clear(p.spads)
+	p.db, p.dbMask = 0, 0
+	for r := range p.inbound {
+		d := &p.winDirty[r]
+		if d.hi > d.lo {
+			clear(p.inbound[r][d.lo:d.hi])
+		}
+		*d = extent{}
+	}
+	p.dma.reset()
+}
+
 func (p *Port) mustPeer() *Port {
 	if p.peer == nil {
 		panic("ntb: " + p.name + " is not connected")
@@ -402,6 +452,7 @@ func (p *Port) CPUWrite(pr *sim.Proc, r Region, off int, data []byte) {
 	if *p.linkDown {
 		return // posted stores to a dead link vanish
 	}
+	peer.markDirty(r, off, len(data))
 	copy(peer.window(r)[off:], data)
 }
 
@@ -515,6 +566,14 @@ func (e *Engine) SubmitWait(pr *sim.Proc, d Desc) {
 // Pending reports descriptors submitted but not yet completed.
 func (e *Engine) Pending() int { return e.busy }
 
+// reset asserts the engine is idle — a wedged or mid-descriptor engine
+// cannot be pooled — and keeps the warm job pool for the next run.
+func (e *Engine) reset() {
+	if e.busy != 0 || e.queue.Len() != 0 {
+		panic(fmt.Sprintf("ntb: reset of %s with %d descriptor(s) outstanding", e.port.name, e.busy))
+	}
+}
+
 func (e *Engine) run(pr *sim.Proc) {
 	par := e.port.par
 	for {
@@ -530,9 +589,11 @@ func (e *Engine) run(pr *sim.Proc) {
 			wedge := sim.NewCompletion("dma-wedged:" + e.port.name)
 			wedge.Wait(pr) // parks forever
 		}
-		e.port.mustPeer().admit(e.port)
+		peer := e.port.mustPeer()
+		peer.admit(e.port)
 		e.port.net.TransferRoute(pr, int64(d.Bytes), e.port.engineBW, e.port.route)
-		dst := e.port.mustPeer().window(d.Region)[d.Off : d.Off+d.Bytes]
+		peer.markDirty(d.Region, d.Off, d.Bytes)
+		dst := peer.window(d.Region)[d.Off : d.Off+d.Bytes]
 		if d.SrcHeap != nil {
 			d.SrcHeap.Read(d.SrcOff, dst)
 		} else {

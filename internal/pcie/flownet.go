@@ -163,6 +163,22 @@ func NewNetwork(s *sim.Simulator) *Network {
 // ActiveFlows reports the number of in-flight transfers.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
 
+// Reset prepares the network for reuse after its simulator is rewound to
+// time zero. Interned servers, routes, and the transfer pool all survive —
+// rebuilding them is exactly the cold-start cost a pooled world avoids —
+// and a generation bump quarantines any completion event state left from
+// the previous run. The network must be quiescent: Reset panics if flows
+// are still in flight or a solve is pending.
+func (n *Network) Reset() {
+	if len(n.flows) != 0 {
+		panic(fmt.Sprintf("pcie: Reset with %d active flow(s)", len(n.flows)))
+	}
+	if n.solvePending {
+		panic("pcie: Reset with a solve pending")
+	}
+	n.gen++
+}
+
 // Start begins a transfer through an ad-hoc route over the listed
 // servers. It is the convenience form of StartRoute for callers without
 // a prebuilt Route (tests, one-off transfers); the route is built — and

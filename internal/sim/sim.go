@@ -37,6 +37,8 @@ type Simulator struct {
 	fatal   error // first panic captured from a process
 	running bool
 	killed  bool // Shutdown has released all process goroutines
+
+	executed uint64 // events dispatched since New or Reset
 }
 
 // errKilled aborts a blocking call issued from a defer while Shutdown is
@@ -55,6 +57,12 @@ func New() *Simulator {
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// EventsExecuted returns the number of events dispatched since New or the
+// last Reset. It is the kernel-level cost of a run — a stable, virtual
+// measure benchmark harnesses can use to order work largest-first without
+// consulting the wall clock.
+func (s *Simulator) EventsExecuted() uint64 { return s.executed }
 
 // schedule enqueues fn to run at time t. Panics if t is in the past.
 func (s *Simulator) schedule(t Time, fn func()) {
@@ -235,6 +243,7 @@ loop:
 		default:
 			break loop
 		}
+		s.executed++
 		switch {
 		case ev.proc != nil:
 			s.dispatch(ev.proc)
@@ -279,6 +288,39 @@ func (s *Simulator) deadlockError() error {
 // LiveProcs reports the number of processes that have been spawned and have
 // not yet exited.
 func (s *Simulator) LiveProcs() int { return len(s.procs) }
+
+// Reset rewinds a finished simulator to virtual time zero so its world
+// can run again without rebuilding the object graph. Parked daemon
+// processes stay parked — they resume service when the next run's events
+// wake them — which is exactly what a pooled world wants: device engines
+// and dispatchers remain installed. Everything else must have drained;
+// Reset panics if the simulator is running, was Shut down, captured a
+// panic, or still holds non-daemon processes or pending events. The event
+// heap's and ready queue's backing arrays are retained, so a reset
+// allocates nothing.
+func (s *Simulator) Reset() {
+	if s.running {
+		panic("sim: Reset during Run")
+	}
+	if s.killed {
+		panic("sim: Reset after Shutdown")
+	}
+	if s.fatal != nil {
+		panic("sim: Reset of a failed simulation: " + s.fatal.Error())
+	}
+	if n := s.nondaemonProcs(); n > 0 {
+		panic(fmt.Sprintf("sim: Reset with %d non-daemon process(es) live", n))
+	}
+	if s.events.Len() > 0 || s.readyHead < len(s.ready) {
+		panic("sim: Reset with pending events")
+	}
+	s.now = 0
+	s.seq = 0
+	s.executed = 0
+	s.events.items = s.events.items[:0]
+	s.ready = s.ready[:0]
+	s.readyHead = 0
+}
 
 // Shutdown releases every parked process goroutine (daemons included) and
 // drops pending events, so a finished simulation's entire object graph —
