@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke profile reproduce clean
+.PHONY: all build test race vet lint bench bench-smoke profile reproduce clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages that touch the parallel experiment engine and
-# the zero-allocation transfer hot path: the kernel, the flow network,
-# the NTB devices, the driver, the fabric, the runtime, and the harness
-# that fans pooled worlds out across workers.
+# Race-check everything: the parallel experiment engine fans pooled
+# simulation worlds out across concurrent workers, so the whole module
+# rides under the detector, not just the packages it touches directly.
 race:
-	$(GO) test -race ./internal/sim ./internal/pcie ./internal/ntb ./internal/driver ./internal/fabric ./internal/core ./internal/bench
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (see LINT.md): determinism, Reset
+# completeness, annotated zero-alloc hot paths, park/timer discipline.
+lint:
+	$(GO) run ./cmd/ntblint ./...
 
 # Host-side simulator speed benchmarks (wall-clock, allocs/op).
 bench:

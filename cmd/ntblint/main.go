@@ -1,0 +1,67 @@
+// Command ntblint runs the repository's custom static analyzers over
+// the given package patterns (default ./...) and exits non-zero on any
+// finding. It is the machine check behind the invariants the simulator's
+// credibility rests on — see LINT.md for the rules and waiver
+// directives.
+//
+//	simdet     — no wall clock, no global math/rand, no order-sensitive
+//	             map iteration in the simulation packages
+//	resetcheck — every field of a Reset()-able type is reset, recursively
+//	             reset, or annotated `// reset: keep`
+//	allocfree  — //ntblint:allocfree functions contain no allocating
+//	             constructs
+//	parkcheck  — park labels are precomputed; AfterTick tickers are
+//	             pre-allocated
+//
+// Run it from the module root (import resolution shells out to the go
+// command in module mode): `go run ./cmd/ntblint ./...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// simdetScope matches the packages whose code must be deterministic in
+// the byte-identical-results sense: the kernel, the device and protocol
+// layers, the runtime, and the benchmark engine that renders results/.
+// Other packages (examples, commands, parsing helpers) may iterate maps
+// and read clocks freely.
+var simdetScope = regexp.MustCompile(`(^|/)internal/(sim|pcie|ntb|driver|fabric|core|mem|bench|trace)$`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ntblint [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntblint:", err)
+		os.Exit(2)
+	}
+
+	analyzers := analysis.Analyzers()
+	for _, a := range analyzers {
+		if a.Name == analysis.Simdet.Name {
+			a.Match = simdetScope.MatchString
+		}
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ntblint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -17,9 +17,9 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/fabric"
@@ -52,7 +52,7 @@ func main() {
 }
 
 func randomConfig(seed int64) core.Options {
-	rng := rand.New(rand.NewSource(seed * 31))
+	rng := bench.SeededRNG(seed * 31)
 	opts := core.Options{}
 	if rng.Intn(2) == 0 {
 		opts.Mode = driver.ModeCPU
@@ -77,7 +77,7 @@ func randomConfig(seed int64) core.Options {
 func runProgram(seed int64, opts core.Options, hosts int, verbose bool) error {
 	const slotSize = 2500
 	const roundsPerProgram = 3
-	rng := rand.New(rand.NewSource(seed))
+	rng := bench.SeededRNG(seed)
 	if verbose {
 		fmt.Printf("seed=%d hosts=%d mode=%v barrier=%v routing=%v pipeline=%d\n",
 			seed, hosts, opts.Mode, opts.Barrier, opts.Routing, opts.Pipeline)

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// Resetcheck proves the world-pool recycling contract field by field:
+// for every struct type with a niladic Reset (or reset) method, each
+// field must be either assigned in Reset, recursively reset (a method
+// call on the field, or the field handed to a helper such as clear),
+// or explicitly annotated `// reset: keep`. A field that is none of
+// these is the add-a-field-forget-the-pool bug: a recycled world would
+// leak the previous run's state through it.
+var Resetcheck = &Analyzer{
+	Name: "resetcheck",
+	Doc: "every field of a type with a Reset method must be assigned, " +
+		"recursively reset, or annotated `// reset: keep`",
+	Run: runResetcheck,
+}
+
+// resetTarget is one struct type declaration plus its reset-family
+// methods and every other method (helpers reachable from Reset).
+type resetTarget struct {
+	name    string
+	decl    *ast.StructType
+	resets  []*ast.FuncDecl          // methods named Reset or reset
+	methods map[string]*ast.FuncDecl // all methods, by name
+}
+
+func runResetcheck(pass *Pass) {
+	targets := map[string]*resetTarget{}
+	get := func(name string) *resetTarget {
+		t := targets[name]
+		if t == nil {
+			t = &resetTarget{name: name, methods: map[string]*ast.FuncDecl{}}
+			targets[name] = t
+		}
+		return t
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						get(ts.Name.Name).decl = st
+					}
+				}
+			case *ast.FuncDecl:
+				recv := receiverTypeName(d)
+				if recv == "" {
+					continue
+				}
+				t := get(recv)
+				t.methods[d.Name.Name] = d
+				if (d.Name.Name == "Reset" || d.Name.Name == "reset") &&
+					d.Type.Params.NumFields() == 0 && d.Type.Results.NumFields() == 0 {
+					t.resets = append(t.resets, d)
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(targets))
+	for name := range targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := targets[name]
+		if t.decl == nil || len(t.resets) == 0 {
+			continue
+		}
+		checkResetTarget(pass, t)
+	}
+}
+
+func checkResetTarget(pass *Pass, t *resetTarget) {
+	handled := map[string]bool{}
+	all := false
+	visited := map[string]bool{}
+	for _, reset := range t.resets {
+		if collectHandled(pass, t, reset, handled, visited) {
+			all = true
+		}
+	}
+	if all {
+		return
+	}
+	for _, field := range t.decl.Fields.List {
+		if fieldKept(field) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: named by its type.
+			if n := embeddedFieldName(field.Type); n != "" && !handled[n] {
+				pass.Reportf(field.Pos(),
+					"(*%s).Reset does not reset embedded field %s; assign it, reset it, or annotate `// reset: keep`",
+					t.name, n)
+			}
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name == "_" || handled[id.Name] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"(*%s).Reset does not reset field %s; assign it, reset it, or annotate `// reset: keep`",
+				t.name, id.Name)
+		}
+	}
+}
+
+// collectHandled walks one reset-family method body recording which
+// receiver fields it handles. It follows calls to sibling methods on
+// the same receiver (r.helper()) transitively. The boolean result
+// reports a whole-receiver wipe (*r = T{...}).
+func collectHandled(pass *Pass, t *resetTarget, fn *ast.FuncDecl, handled map[string]bool, visited map[string]bool) bool {
+	if visited[fn.Name.Name] || fn.Body == nil {
+		return false
+	}
+	visited[fn.Name.Name] = true
+	recv := receiverIdentName(fn)
+	if recv == "" {
+		return false
+	}
+	all := false
+	mark := func(expr ast.Expr) {
+		if f := rootField(recv, expr); f != "" {
+			handled[f] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok {
+					if id, ok := star.X.(*ast.Ident); ok && id.Name == recv {
+						all = true
+						continue
+					}
+				}
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			// &r.f: the alias escapes to code that may write it.
+			if n.Op.String() == "&" {
+				mark(n.X)
+			}
+		case *ast.TypeAssertExpr:
+			// `if tx, ok := r.f.(*Impl); ok { tx.Reset() }`: the field
+			// is dispatched by dynamic type for handling.
+			mark(n.X)
+		case *ast.RangeStmt:
+			// `for … := range r.f { … }` with calls or writes inside
+			// is the delegated-reset idiom (resetting every element).
+			if f := rootField(recv, n.X); f != "" && bodyHasEffect(n.Body) {
+				handled[f] = true
+			}
+		case *ast.CallExpr:
+			// r.f.Reset(), clear(r.f), helper(r.f, …): the field is
+			// handed to something that resets it.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				mark(sel.X)
+				// r.helper(): follow sibling methods on the receiver.
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
+					if sib := t.methods[sel.Sel.Name]; sib != nil {
+						if collectHandled(pass, t, sib, handled, visited) {
+							all = true
+						}
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				mark(arg)
+			}
+		}
+		return true
+	})
+	return all
+}
+
+// rootField returns the receiver field a path expression is rooted at:
+// r.f, r.f.x, r.f[i], r.f[i:j], (*r).f all yield "f"; anything not
+// rooted at the receiver yields "".
+func rootField(recv string, expr ast.Expr) string {
+	field := ""
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			field = e.Sel.Name
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.Ident:
+			if e.Name == recv {
+				return field
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+func bodyHasEffect(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.AssignStmt, *ast.SendStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers look like Queue[T].
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if idx, ok := t.(*ast.IndexListExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func receiverIdentName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+func embeddedFieldName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,61 @@
+// Package allocfree is the fixture for the allocfree analyzer: a
+// function whose doc comment carries //ntblint:allocfree must not
+// allocate, except at sites waived with //ntblint:allocok. Unannotated
+// functions are never checked.
+package allocfree
+
+type node struct{ v int }
+
+type ring struct {
+	buf  []int
+	pool []*node
+}
+
+// push appends to the retained backing array — the amortised self-append
+// idiom is allowed.
+//
+//ntblint:allocfree
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// grow allocates a fresh node on every call.
+//
+//ntblint:allocfree
+func (r *ring) grow() *node {
+	return new(node) // want "new allocates"
+}
+
+// refill allocates only on a pool miss, which is waived.
+//
+//ntblint:allocfree
+func (r *ring) refill() *node {
+	if last := len(r.pool) - 1; last >= 0 {
+		n := r.pool[last]
+		r.pool = r.pool[:last]
+		return n
+	}
+	//ntblint:allocok — pool refill; amortised to zero in steady state
+	return new(node)
+}
+
+// spill appends into a different slice, growing a new backing array.
+//
+//ntblint:allocfree
+func (r *ring) spill(v int) []int {
+	out := append(r.buf, v) // want "append"
+	return out
+}
+
+// boom allocates only inside a panic, which is a cold terminal path.
+//
+//ntblint:allocfree
+func (r *ring) boom(i int) int {
+	if i < 0 {
+		panic(&node{v: i})
+	}
+	return r.buf[i]
+}
+
+// unchecked carries no annotation, so it may allocate freely.
+func unchecked() []int { return make([]int, 8) }

@@ -1,0 +1,36 @@
+// Package parkcheck is the fixture for the parkcheck analyzer: park
+// labels must be precomputed strings and AfterTick tickers pre-allocated
+// values. The sanctioned forms (literals, stored fields) are the
+// negative cases.
+package parkcheck
+
+type proc struct{ blockedOn string }
+
+func (p *proc) park(label string) { p.blockedOn = label }
+
+type ticker interface{ Tick(arg uint64) }
+
+type kernel struct{}
+
+func (k *kernel) AfterTick(d int64, tk ticker, arg uint64) {}
+
+type dev struct {
+	parkLabel string
+	tk        ticker
+}
+
+func newTicker() ticker { return nil }
+
+func labels(p *proc, d *dev, name string) {
+	p.park("waiting " + name) // want "concatenated at the call site"
+	p.park(sprint(name))      // want "built by a call at the park site"
+	p.park(d.parkLabel)       // precomputed field: allowed
+	p.park("idle")            // literal: allowed
+}
+
+func sprint(s string) string { return s }
+
+func arm(k *kernel, d *dev) {
+	k.AfterTick(0, d.tk, 1)        // pre-allocated field: allowed
+	k.AfterTick(0, newTicker(), 2) // want "pre-allocated"
+}

@@ -1,0 +1,45 @@
+// Package resetcheck is the fixture for the resetcheck analyzer: a type
+// with a Reset method must account for every field — assign it, reset
+// it recursively, or annotate it `// reset: keep`. The stale field below
+// is the seeded omission the analyzer must catch.
+package resetcheck
+
+type inner struct{ n int }
+
+func (i *inner) Reset() { i.n = 0 }
+
+type pool struct {
+	items []int
+	seq   uint64
+	child inner
+	name  string // reset: keep — diagnostic identity
+	stale bool   // want "does not reset field stale"
+}
+
+func (p *pool) Reset() {
+	p.items = p.items[:0]
+	p.seq = 0
+	p.child.Reset()
+}
+
+// wiped is fully reset by a single composite-literal assignment.
+type wiped struct {
+	a, b int
+	c    string
+}
+
+func (w *wiped) Reset() { *w = wiped{} }
+
+// helperReset delegates a field to a sibling method, which resetcheck
+// follows.
+type helperReset struct {
+	buf []byte
+	cnt int
+}
+
+func (h *helperReset) Reset() {
+	h.clearBuf()
+	h.cnt = 0
+}
+
+func (h *helperReset) clearBuf() { h.buf = h.buf[:0] }

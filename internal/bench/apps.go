@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/core"
@@ -116,7 +115,7 @@ func AppMatmul(par *model.Params, opts core.Options, hosts, dim int) float64 {
 		panic("bench: dim must divide among hosts")
 	}
 	mb := dim / hosts
-	rng := rand.New(rand.NewSource(99))
+	rng := SeededRNG(matmulSeed)
 	A := make([]float64, dim*dim)
 	B := make([]float64, dim*dim)
 	for i := range A {
@@ -180,7 +179,7 @@ func AppIntSort(par *model.Params, opts core.Options, hosts, perPE int) float64 
 	return runApp(label, par, hosts, opts, func(p *sim.Proc, pe *core.PE) {
 		n := pe.NumPEs()
 		me := pe.ID()
-		rng := rand.New(rand.NewSource(int64(me) * 31))
+		rng := peRNG(intsortStride, me)
 		mine := make([]int32, perPE)
 		for i := range mine {
 			mine[i] = int32(rng.Intn(keyRange))

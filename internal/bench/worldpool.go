@@ -74,6 +74,7 @@ func WorldPoolStats() (hits, misses uint64) {
 func DrainWorldPool() {
 	worldPool.mu.Lock()
 	var all []*core.World
+	//ntblint:ordered — worlds are independent simulators being shut down post-run;
 	for _, ws := range worldPool.worlds {
 		all = append(all, ws...)
 	}

@@ -127,10 +127,10 @@ type OpEvent struct {
 // World is one OpenSHMEM job running on a ring cluster.
 type World struct {
 	Cluster *fabric.Cluster
-	par     *model.Params
-	opts    Options
+	par     *model.Params // reset: keep — construction identity
+	opts    Options       // reset: keep — construction identity
 	pes     []*PE
-	opTrace func(OpEvent)
+	opTrace func(OpEvent) // reset: keep — installed hooks survive recycling
 }
 
 // SetOpTrace installs a hook receiving one event per completed
@@ -153,26 +153,26 @@ func (pe *PE) emitOp(p *sim.Proc, op string, target, bytes int, start sim.Time) 
 // host's OpenSHMEM runtime state.
 type PE struct {
 	id    int
-	world *World
-	host  *fabric.Host
-	par   *model.Params
-	mode  driver.Mode
+	world *World        // reset: keep — construction identity
+	host  *fabric.Host  // reset: keep — construction identity
+	par   *model.Params // reset: keep — construction identity
+	mode  driver.Mode   // reset: keep — construction identity
 
 	heap      *mem.Heap
 	finalized bool
 
 	// Service path (Fig 5).
 	svcQ      *sim.Queue[*ntb.Port]
-	svcActive bool
-	svcIdle   *sim.Cond
+	svcActive bool      // reset: keep — reset() panics unless false (service drained)
+	svcIdle   *sim.Cond // reset: keep — no waiters survive a clean run
 	fwdQ      *sim.Queue[*fwdMsg]
-	fwdBusy   int
-	fwdIdle   *sim.Cond
-	bufPool   [][]byte
+	fwdBusy   int       // reset: keep — reset() panics unless zero
+	fwdIdle   *sim.Cond // reset: keep — no waiters survive a clean run
+	bufPool   [][]byte  // reset: keep — warm staging buffers are the point of pooling
 
 	// Link senders: the paper's stop-and-wait TxChannels or pipelined
 	// PipeTx, per Options.Pipeline; rx state exists only when pipelined.
-	txLeftS, txRightS driver.Sender
+	txLeftS, txRightS driver.Sender // PipeTx reset here; TxChannel reset by Cluster.Reset
 	rxByPort          map[*ntb.Port]*driver.PipeRx
 
 	// Ring barrier tokens (Fig 6): one queue pair per travel direction
@@ -183,7 +183,7 @@ type PE struct {
 
 	// Control tokens for the alternative barrier algorithms.
 	ctl     map[uint32]int
-	ctlCond *sim.Cond
+	ctlCond *sim.Cond // reset: keep — no waiters survive a clean run
 
 	// Pending get/AMO requests by tag.
 	pending map[uint32]*pendingReq
@@ -204,10 +204,10 @@ type PE struct {
 
 	// Non-blocking operation tracking for Quiet.
 	outstanding int
-	quietCond   *sim.Cond
+	quietCond   *sim.Cond // reset: keep — no waiters survive a clean run
 
 	// Signalled whenever remote traffic writes this PE's heap.
-	heapWrite *sim.Cond
+	heapWrite *sim.Cond // reset: keep — no waiters survive a clean run
 
 	stats Stats
 }

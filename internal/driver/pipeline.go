@@ -112,14 +112,14 @@ func decodeSlotHeader(src []byte) (seq uint32, info Info, ok bool) {
 // protocol.
 type PipeTx struct {
 	ep        *Endpoint
-	par       *model.Params
-	slots     int
-	slotBytes int
-	credits   *sim.Resource
-	mu        *sim.Mutex // serialises slot assignment and wire writes
+	par       *model.Params // reset: keep — construction identity
+	slots     int           // reset: keep — pipeline geometry
+	slotBytes int           // reset: keep — pipeline geometry
+	credits   *sim.Resource // Reset asserts all returned
+	mu        *sim.Mutex    // reset: keep — serialises slot assignment; released per send
 	nextSlot  int
 	seq       uint32
-	scratch   []byte
+	scratch   []byte // reset: keep — warm staging frame, overwritten per send
 	sends     uint64
 }
 
@@ -212,9 +212,9 @@ func (tx *PipeTx) SendChunk(p *sim.Proc, info Info, payload Payload, mode Mode) 
 
 // PipeRx is the receiver half: it drains valid slots in sequence order.
 type PipeRx struct {
-	port      *ntb.Port
-	slots     int
-	slotBytes int
+	port      *ntb.Port // reset: keep — construction identity
+	slots     int       // reset: keep — pipeline geometry
+	slotBytes int       // reset: keep — pipeline geometry
 	expect    uint32
 }
 

@@ -32,10 +32,10 @@ type Host struct {
 // platform profile.
 type Cluster struct {
 	Sim   *sim.Simulator
-	Par   *model.Params
+	Par   *model.Params // reset: keep — construction identity
 	Net   *pcie.Network
 	Hosts []*Host
-	ring  bool
+	ring  bool // reset: keep — topology identity
 }
 
 // NewRing builds the paper's switchless ring of n ≥ 2 hosts. Host i's

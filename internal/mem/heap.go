@@ -40,8 +40,8 @@ type block struct {
 // Heap is not safe for concurrent use; in this repository all access is
 // serialised by the simulation kernel.
 type Heap struct {
-	chunkSize int64
-	maxSize   int64
+	chunkSize int64 // reset: keep — construction geometry
+	maxSize   int64 // reset: keep — construction geometry
 	chunks    [][]byte
 	blocks    []block // sorted by offset, covering [0, len(chunks)*chunkSize)
 	live      int     // number of live allocations

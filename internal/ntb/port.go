@@ -68,23 +68,23 @@ func (r Region) String() string {
 // (left and right adapters). All methods taking a *sim.Proc block that
 // process for the modelled duration of the operation.
 type Port struct {
-	name string
-	par  *model.Params
-	sim  *sim.Simulator
-	net  *pcie.Network
+	name string         // reset: keep — identity
+	par  *model.Params  // reset: keep — construction identity
+	sim  *sim.Simulator // reset: keep — construction identity
+	net  *pcie.Network  // reset: keep — construction identity
 
-	peer     *Port
-	wire     *pcie.Server
-	localRC  *pcie.Server
-	route    *pcie.Route // interned path to the peer, built at Connect
-	linkDown *bool       // shared by both ends of the cable
+	peer     *Port        // reset: keep — cabling survives recycling
+	wire     *pcie.Server // reset: keep — interned flow-network server
+	localRC  *pcie.Server // reset: keep — interned flow-network server
+	route    *pcie.Route  // reset: keep — interned path to the peer, built at Connect
+	linkDown *bool        // reset: keep — shared cable state, re-armed by CutCable/Heal
 
-	engineBW float64 // this adapter's DMA engine rate (chipset-dependent)
+	engineBW float64 // reset: keep — this adapter's DMA engine rate (chipset-dependent)
 
 	spads  []uint32
 	db     uint16
 	dbMask uint16
-	isr    func(bits uint16)
+	isr    func(bits uint16) // reset: keep — registered handler survives, like a driver's ISR
 
 	inbound [numRegions][]byte
 	// winDirty brackets the bytes of each inbound window that writes may
@@ -99,12 +99,12 @@ type Port struct {
 	// Requester-ID lookup table (the paper's "LUT entry mapping for NTB
 	// device identification"): when enforced, inbound window
 	// transactions are accepted only from registered requester IDs.
-	reqID       uint16
-	lut         map[uint16]bool
-	lutEnforced bool
+	reqID       uint16          // reset: keep — assigned identity, reused at re-boot
+	lut         map[uint16]bool // reset: keep — boot reprograms the same entries (see Reset doc)
+	lutEnforced bool            // reset: keep — see Reset doc: an enforced LUT admits what boot admits
 
 	dma   *Engine
-	trace TraceFunc
+	trace TraceFunc // reset: keep — installed trace hook survives recycling
 }
 
 // NewPort creates an unconnected port. localRC is the owning host's root
@@ -262,6 +262,8 @@ func (p *Port) window(r Region) []byte {
 type extent struct{ lo, hi int }
 
 // markDirty widens region r's dirty extent to cover [off, off+n).
+//
+//ntblint:allocfree
 func (p *Port) markDirty(r Region, off, n int) {
 	if n <= 0 {
 		return
@@ -361,6 +363,8 @@ func (p *Port) SetISR(fn func(bits uint16)) { p.isr = fn }
 // PeerDBSet rings doorbell bits on the peer port: a posted MMIO write,
 // then interrupt delivery on the far host after the interrupt latency.
 // Dropped silently on a dead link.
+//
+//ntblint:allocfree
 func (p *Port) PeerDBSet(pr *sim.Proc, bits uint16) {
 	pr.Sleep(p.par.MMIOWrite)
 	if *p.mustPeerLink() {
@@ -375,10 +379,14 @@ func (p *Port) PeerDBSet(pr *sim.Proc, bits uint16) {
 
 // Tick implements sim.Ticker: scheduled interrupt delivery, arg carrying
 // the doorbell bits rung InterruptLatency ago. Not for direct use.
+//
+//ntblint:allocfree
 func (p *Port) Tick(arg uint64) { p.raise(uint16(arg)) }
 
 // raise latches bits into the doorbell register and, for unmasked bits,
 // invokes the ISR.
+//
+//ntblint:allocfree
 func (p *Port) raise(bits uint16) {
 	p.emit("doorbell", "deliver", 0, 0)
 	p.db |= bits
@@ -501,7 +509,7 @@ type Engine struct {
 	// jpool recycles job records whose lifetime is confined to one
 	// SubmitWait call, keeping the per-chunk descriptor path
 	// allocation-free.
-	jpool []*engineJob
+	jpool []*engineJob // reset: keep — warm record pool
 }
 
 type engineJob struct {
@@ -541,6 +549,8 @@ func (e *Engine) Submit(pr *sim.Proc, d Desc) *sim.Completion {
 // the completion is never exposed, so the engine recycles the job record
 // and the per-chunk descriptor path allocates nothing. This is the form
 // the driver's chunk senders use.
+//
+//ntblint:allocfree
 func (e *Engine) SubmitWait(pr *sim.Proc, d Desc) {
 	e.port.checkWindow(d.Region, d.Off, d.Bytes)
 	if d.SrcHeap == nil && len(d.Src) < d.Bytes {
@@ -553,6 +563,7 @@ func (e *Engine) SubmitWait(pr *sim.Proc, d Desc) {
 		e.jpool = e.jpool[:last]
 		job.done.Reset()
 	} else {
+		//ntblint:allocok — job-pool miss; record is recycled forever after
 		job = &engineJob{done: sim.NewCompletion("dma-done:" + e.port.name)}
 	}
 	job.desc = d

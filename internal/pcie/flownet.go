@@ -130,29 +130,29 @@ func (t *Transfer) Done() bool { return t.done.Done() }
 
 // Network is the fluid-flow solver bound to one simulator.
 type Network struct {
-	sim   *sim.Simulator
-	flows []*Transfer
-	gen   uint64 // invalidates stale completion events
+	sim   *sim.Simulator // reset: keep — construction identity
+	flows []*Transfer    // Reset asserts none in flight
+	gen   uint64         // invalidates stale completion events; bumped by Reset
 
 	// Interned servers and the solver's per-network scratch, indexed by
 	// Server.idx. srvEpoch stamps which solve last initialised a slot, so
 	// a solve touches only the servers its flows cross and nothing is
 	// cleared between solves.
-	servers  []*Server
-	epoch    uint64
-	srvEpoch []uint64
-	residual []float64
-	count    []int
-	touched  []int32 // server indices initialised by the current solve
+	servers  []*Server // reset: keep — interned; rebuilding them is the cold-start cost pooling avoids
+	epoch    uint64    // reset: keep — monotone solve stamp; only equality with srvEpoch matters
+	srvEpoch []uint64  // reset: keep — per-slot stamps stay valid under a monotone epoch
+	residual []float64 // reset: keep — scratch, fully re-initialised by each solve's epoch check
+	count    []int     // reset: keep — scratch, fully re-initialised by each solve's epoch check
+	touched  []int32   // reset: keep — scratch; emptied when each solve retires
 
 	// solvePending coalesces same-instant re-solves: the first start or
 	// finish at an instant schedules one solve event at that instant and
 	// later churn piggybacks on it.
-	solvePending bool
+	solvePending bool // reset: keep — Reset panics unless false
 
 	// pool recycles Transfer records whose lifetime is confined to one
 	// blocking Transfer/TransferRoute call.
-	pool []*Transfer
+	pool []*Transfer // reset: keep — warm record pool
 }
 
 // NewNetwork returns an empty flow network on s.
@@ -192,6 +192,8 @@ func (n *Network) Start(bytes int64, limit float64, servers ...*Server) *Transfe
 // for no private cap). It may be called from process or scheduler
 // context and returns immediately; the re-solve it forces is coalesced
 // with any other flow churn at the current instant.
+//
+//ntblint:allocfree
 func (n *Network) StartRoute(bytes int64, limit float64, r *Route) *Transfer {
 	if bytes < 0 {
 		panic("pcie: negative transfer size")
@@ -239,6 +241,8 @@ func (n *Network) Transfer(p *sim.Proc, bytes int64, limit float64, servers ...*
 // process. The flow record is pooled: because the caller never sees it,
 // the network recycles it once drained, and the steady-state per-transfer
 // path allocates nothing.
+//
+//ntblint:allocfree
 func (n *Network) TransferRoute(p *sim.Proc, bytes int64, limit float64, r *Route) {
 	t := n.StartRoute(bytes, limit, r)
 	t.done.Wait(p)
@@ -247,6 +251,8 @@ func (n *Network) TransferRoute(p *sim.Proc, bytes int64, limit float64, r *Rout
 }
 
 // getTransfer returns a recycled or fresh flow record.
+//
+//ntblint:allocfree
 func (n *Network) getTransfer() *Transfer {
 	if last := len(n.pool) - 1; last >= 0 {
 		t := n.pool[last]
@@ -254,6 +260,7 @@ func (n *Network) getTransfer() *Transfer {
 		t.done.Reset()
 		return t
 	}
+	//ntblint:allocok — pool miss; record is recycled forever after
 	return &Transfer{done: sim.NewCompletion("transfer")}
 }
 
@@ -268,6 +275,8 @@ const residueThreshold = 0.5
 
 // advance integrates every flow's progress up to now at its current rate
 // and completes flows that have drained.
+//
+//ntblint:allocfree
 func (n *Network) advance() {
 	now := n.sim.Now()
 	live := n.flows[:0]
@@ -297,6 +306,8 @@ const solveArg = ^uint64(0)
 // markDirty schedules the instant's single coalesced solve, if not
 // already pending. Starts, finishes and completion wakeups all funnel
 // through here, so k same-instant events cost one solver run.
+//
+//ntblint:allocfree
 func (n *Network) markDirty() {
 	if n.solvePending {
 		return
@@ -310,6 +321,8 @@ func (n *Network) markDirty() {
 // generation stamp is stale — a newer start or finish already re-solved
 // and rescheduled — is ignored, so it can never complete a flow early or
 // double-fire.
+//
+//ntblint:allocfree
 func (n *Network) Tick(arg uint64) {
 	if arg == solveArg {
 		n.solvePending = false
@@ -337,6 +350,8 @@ func (n *Network) Tick(arg uint64) {
 // flow's rate is its private limit or its route's precomputed
 // bottleneck, whichever is smaller — exactly what progressive filling
 // would conclude.
+//
+//ntblint:allocfree
 func (n *Network) solve() {
 	if len(n.flows) == 1 {
 		f := n.flows[0]
@@ -356,6 +371,8 @@ func (n *Network) solve() {
 // continue with the rest. It allocates nothing: server state lives in
 // the pre-sized per-network arrays, initialised lazily per solve by
 // epoch stamp.
+//
+//ntblint:allocfree
 func (n *Network) solveFull() {
 	n.epoch++
 	e := n.epoch
@@ -440,6 +457,8 @@ func (n *Network) solveFull() {
 // reschedule re-solves rates and schedules the next completion event.
 // Each run bumps the generation, invalidating every previously scheduled
 // completion wakeup.
+//
+//ntblint:allocfree
 func (n *Network) reschedule() {
 	n.gen++
 	if len(n.flows) == 0 {

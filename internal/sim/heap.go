@@ -35,6 +35,7 @@ func (h *eventHeap) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
+//ntblint:allocfree
 func (h *eventHeap) push(e event) {
 	h.items = append(h.items, e)
 	i := len(h.items) - 1
@@ -48,6 +49,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//ntblint:allocfree
 func (h *eventHeap) pop() event {
 	top := h.items[0]
 	last := len(h.items) - 1
@@ -65,6 +67,7 @@ func (h *eventHeap) peek() *event {
 	return &h.items[0]
 }
 
+//ntblint:allocfree
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.items)
 	for {

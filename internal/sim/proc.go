@@ -32,6 +32,8 @@ func (p *Proc) Now() Time { return p.sim.now }
 
 // park hands control back to the scheduler until some event wakes this
 // process. Every park must be paired with exactly one wake.
+//
+//ntblint:allocfree
 func (p *Proc) park(label string) {
 	if p.sim.killed {
 		// A deferred call running during teardown tried to block (for
@@ -56,11 +58,15 @@ func (p *Proc) park(label string) {
 
 // wake schedules p to resume at the current virtual time. It must only be
 // used by kernel primitives that know p is parked and not yet woken.
+//
+//ntblint:allocfree
 func (p *Proc) wake() {
 	p.sim.scheduleProc(p.sim.now, p)
 }
 
 // wakeAfter schedules p to resume d from now.
+//
+//ntblint:allocfree
 func (p *Proc) wakeAfter(d Duration) {
 	if d < 0 {
 		d = 0
@@ -71,6 +77,8 @@ func (p *Proc) wakeAfter(d Duration) {
 // Sleep suspends the process for d of virtual time. A non-positive d
 // yields the processor for one scheduling round (other events at the same
 // timestamp run first).
+//
+//ntblint:allocfree
 func (p *Proc) Sleep(d Duration) {
 	p.wakeAfter(d)
 	// A static label: a sleeper always has its wake event pending, so it

@@ -29,14 +29,13 @@ type Simulator struct {
 	// yielded carries control back from a running process to the
 	// scheduler. Exactly one process may be between resume and yield at
 	// any moment, so an unbuffered channel suffices.
-	yielded chan struct{}
+	yielded chan struct{} // reset: keep — the handshake channel outlives runs
 
-	procs    map[*Proc]struct{} // live (started, not exited) processes
-	nblocked int                // processes currently parked on a primitive
+	procs map[*Proc]struct{} // reset: keep — parked daemons survive a reset by design
 
-	fatal   error // first panic captured from a process
-	running bool
-	killed  bool // Shutdown has released all process goroutines
+	fatal   error // first panic captured from a process; Reset refuses a failed sim
+	running bool  // reset: keep — Reset panics unless false
+	killed  bool  // reset: keep — Shutdown is terminal; Reset panics if set
 
 	executed uint64 // events dispatched since New or Reset
 }
@@ -71,10 +70,13 @@ func (s *Simulator) schedule(t Time, fn func()) {
 
 // scheduleProc enqueues a wake of p at time t without allocating a
 // closure — the kernel's hottest operation.
+//
+//ntblint:allocfree
 func (s *Simulator) scheduleProc(t Time, p *Proc) {
 	s.scheduleEvent(t, event{proc: p})
 }
 
+//ntblint:allocfree
 func (s *Simulator) scheduleEvent(t Time, ev event) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, s.now))
@@ -112,6 +114,8 @@ type Ticker interface {
 // so the timer path stays allocation-free; the argument typically
 // carries a generation stamp for stale-event detection or a small
 // payload such as doorbell bits.
+//
+//ntblint:allocfree
 func (s *Simulator) AfterTick(d Duration, tk Ticker, arg uint64) {
 	if tk == nil {
 		panic("sim: AfterTick with nil Ticker")
@@ -274,6 +278,7 @@ func (s *Simulator) nondaemonProcs() int {
 
 func (s *Simulator) deadlockError() error {
 	names := make([]string, 0, len(s.procs))
+	//ntblint:ordered — the report is sorted below, so iteration order never shows
 	for p := range s.procs {
 		if p.daemon {
 			continue
@@ -337,6 +342,7 @@ func (s *Simulator) Shutdown() {
 		return
 	}
 	s.killed = true
+	//ntblint:ordered — teardown runs after the last observable event; release order is invisible
 	for p := range s.procs {
 		if !p.exited {
 			// Sequential teardown: each goroutine fully unwinds (its

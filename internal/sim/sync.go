@@ -22,8 +22,11 @@ type Cond struct {
 func NewCond(name string) *Cond { return &Cond{name: name, parkLabel: "cond " + name} }
 
 // Wait parks the calling process until a Signal or Broadcast wakes it.
+//
+//ntblint:allocfree
 func (c *Cond) Wait(p *Proc) {
 	if c.parkLabel == "" { // zero-value Cond (e.g. inside Completion)
+		//ntblint:allocok — one-time lazy label init for zero-value Conds
 		c.parkLabel = "cond " + c.name
 	}
 	c.waiters = append(c.waiters, p)
@@ -31,6 +34,8 @@ func (c *Cond) Wait(p *Proc) {
 }
 
 // Signal wakes the longest-waiting process, if any.
+//
+//ntblint:allocfree
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
@@ -42,6 +47,8 @@ func (c *Cond) Signal() {
 }
 
 // Broadcast wakes every currently waiting process.
+//
+//ntblint:allocfree
 func (c *Cond) Broadcast() {
 	for _, w := range c.waiters {
 		w.wake()
@@ -57,7 +64,7 @@ func (c *Cond) Waiters() int { return len(c.waiters) }
 // The zero value is an incomplete latch, usable once given a name via
 // NewCompletion (the name only affects diagnostics).
 type Completion struct {
-	name string
+	name string // reset: keep — diagnostic identity
 	done bool
 	cond Cond
 }
@@ -132,6 +139,8 @@ func (q *Queue[T]) Len() int { return len(q.items) }
 
 // Push appends an item, waking the longest-waiting consumer if present.
 // It is safe to call from scheduler context.
+//
+//ntblint:allocfree
 func (q *Queue[T]) Push(item T) {
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
@@ -147,6 +156,8 @@ func (q *Queue[T]) Push(item T) {
 
 // Pop removes and returns the oldest item, blocking while the queue is
 // empty.
+//
+//ntblint:allocfree
 func (q *Queue[T]) Pop(p *Proc) T {
 	if len(q.items) > 0 {
 		item := q.items[0]
@@ -161,6 +172,7 @@ func (q *Queue[T]) Pop(p *Proc) T {
 		w = q.wpool[last]
 		q.wpool = q.wpool[:last]
 	} else {
+		//ntblint:allocok — pool refill; amortised to zero in steady state
 		w = new(queueWaiter[T])
 	}
 	w.p = p
@@ -226,6 +238,8 @@ func (r *Resource) Free() int64 { return r.free }
 
 // Acquire blocks until n units are available and takes them. n must not
 // exceed the resource's capacity.
+//
+//ntblint:allocfree
 func (r *Resource) Acquire(p *Proc, n int64) {
 	if n > r.capacity {
 		panic("sim: acquire exceeds capacity of resource " + r.name)
@@ -239,6 +253,7 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		w = r.wpool[last]
 		r.wpool = r.wpool[:last]
 	} else {
+		//ntblint:allocok — pool refill; amortised to zero in steady state
 		w = new(resourceWaiter)
 	}
 	w.p, w.n, w.granted = p, n, false
@@ -253,6 +268,8 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 
 // Release returns n units and serves queued waiters in FIFO order.
 // It is safe to call from scheduler context.
+//
+//ntblint:allocfree
 func (r *Resource) Release(n int64) {
 	r.free += n
 	if r.free > r.capacity {

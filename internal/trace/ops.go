@@ -58,6 +58,7 @@ func (r *OpRecorder) Summary() []OpSummary {
 		}
 	}
 	out := make([]OpSummary, 0, len(agg))
+	//ntblint:ordered — collection order is normalised by the sort below
 	for _, s := range agg {
 		s.MeanUS = s.Total.Microseconds() / float64(s.Count)
 		out = append(out, *s)

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// capture runs a fixed mixed workload on a fresh world and returns every
+// rendered view of the recording: the raw device timeline as Chrome
+// JSON, the per-port summary table, and the per-operation summary table.
+func capture(t *testing.T, pipeline int) (chrome []byte, devTable, opTable string) {
+	t.Helper()
+	s := sim.New()
+	c := fabric.NewRing(s, model.Default(), 4)
+	rec := New()
+	rec.Attach(c)
+	ops := NewOpRecorder()
+	w := core.NewWorld(c, core.Options{Pipeline: pipeline})
+	w.SetOpTrace(ops.OpHook())
+	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+		sym := pe.MustMalloc(p, 64<<10)
+		ctr := pe.MustMalloc(p, 8)
+		buf := make([]byte, 64<<10)
+		pe.BarrierAll(p)
+		target := (pe.ID() + 1) % pe.NumPEs()
+		pe.PutBytes(p, target, sym, buf)
+		pe.BarrierAll(p)
+		if pe.ID() == 0 {
+			pe.GetBytes(p, pe.NumPEs()-1, sym, buf[:4<<10])
+			pe.FetchAddInt64(p, 1, ctr, 1)
+		}
+		pe.BarrierAll(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := rec.WriteChromeJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return js.Bytes(), rec.Table(), ops.Table()
+}
+
+// TestTraceStableAcrossRuns is the determinism gate for the trace
+// package: two identical runs in the same process must render
+// byte-identical output — the full event timeline, not just aggregates.
+// Any map-iteration order or wall-clock leak into the recording or its
+// renderers shows up here as a diff.
+func TestTraceStableAcrossRuns(t *testing.T) {
+	for _, pipeline := range []int{0, 4} {
+		js1, dev1, op1 := capture(t, pipeline)
+		js2, dev2, op2 := capture(t, pipeline)
+		if !bytes.Equal(js1, js2) {
+			t.Errorf("pipeline=%d: Chrome JSON timelines differ between identical runs", pipeline)
+		}
+		if dev1 != dev2 {
+			t.Errorf("pipeline=%d: device summary tables differ:\n--- run 1\n%s--- run 2\n%s", pipeline, dev1, dev2)
+		}
+		if op1 != op2 {
+			t.Errorf("pipeline=%d: op summary tables differ:\n--- run 1\n%s--- run 2\n%s", pipeline, op1, op2)
+		}
+	}
+}

@@ -95,6 +95,7 @@ func (r *Recorder) Summary() []PortSummary {
 		}
 	}
 	out := make([]PortSummary, 0, len(byPort))
+	//ntblint:ordered — collection order is normalised by the sort below
 	for _, s := range byPort {
 		out = append(out, *s)
 	}
