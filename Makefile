@@ -44,6 +44,10 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/pcie ./internal/driver ./internal/sim ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkWorldPut1M$$|BenchmarkFlowNetChurn$$' -benchmem -benchtime 500x \
 		./internal/core ./internal/pcie | tee bench_gate.out
+	$(GO) test -run xxx -bench 'BenchmarkSimEventThroughput$$|BenchmarkLadderQueueChurn$$' -benchmem -benchtime 2000x \
+		./internal/sim | tee -a bench_gate.out
+	$(GO) test -run xxx -bench 'BenchmarkScaleWorld256$$' -benchmem -benchtime 10x \
+		./internal/bench | tee -a bench_gate.out
 	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -input bench_gate.out
 	$(GO) run ./cmd/reproduce -skip-ablations -bench-json BENCH.json -bench-input bench_gate.out > /dev/null
 	rm -f bench_gate.out

@@ -1,20 +1,26 @@
-// Command benchgate enforces the allocation-regression gate in CI's
+// Command benchgate enforces the benchmark-regression gate in CI's
 // bench-smoke target. It reads `go test -bench -benchmem` output and
 // fails (exit 1) if any benchmark named in the committed baseline
-// exceeds its allocs/op ceiling, or is missing from the input — a
-// silently skipped benchmark must not pass the gate.
+// breaks its bounds, or is missing from the input — a silently skipped
+// benchmark must not pass the gate.
 //
 // Usage:
 //
 //	benchgate -baseline bench_baseline.json [-input bench.out]
 //
 // The baseline file maps benchmark names (without the -N GOMAXPROCS
-// suffix) to their maximum permitted allocs/op:
+// suffix) to either a bare allocs/op ceiling, or an object carrying any
+// of an allocs/op ceiling and an events/s floor (the custom metric
+// benchmarks emit with b.ReportMetric):
 //
-//	{"BenchmarkWorldPut1M": 2, "BenchmarkFlowNetChurn": 0}
+//	{
+//	  "BenchmarkWorldPut1M": 2,
+//	  "BenchmarkSimEventThroughput": {"max_allocs_per_op": 11, "min_events_per_s": 100000}
+//	}
 //
-// allocs/op ceilings rather than ns/op: allocation counts are exact and
-// machine-independent, so the gate never flakes on a loaded CI runner.
+// allocs/op ceilings are exact and machine-independent, so they never
+// flake; events/s floors are wall-clock and must be set far below the
+// measured rate (an order of magnitude) to absorb loaded CI runners.
 package main
 
 import (
@@ -37,8 +43,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var baseline map[string]int64
-	if err := json.Unmarshal(raw, &baseline); err != nil {
+	baseline, err := parseBaseline(raw)
+	if err != nil {
 		fatal(fmt.Errorf("%s: %w", *baselineFile, err))
 	}
 	if len(baseline) == 0 {
@@ -71,26 +77,94 @@ func main() {
 
 	failed := false
 	for _, name := range names {
-		limit := baseline[name]
+		g := baseline[name]
 		res, ok := byName[name]
-		switch {
-		case !ok:
-			fmt.Printf("FAIL %-28s absent from benchmark output (limit %d allocs/op)\n", name, limit)
+		if !ok {
+			fmt.Printf("FAIL %-28s absent from benchmark output (%s)\n", name, g)
 			failed = true
-		case res.AllocsPerOp < 0:
-			fmt.Printf("FAIL %-28s has no allocs/op (run with -benchmem)\n", name)
-			failed = true
-		case res.AllocsPerOp > limit:
-			fmt.Printf("FAIL %-28s %d allocs/op, limit %d\n", name, res.AllocsPerOp, limit)
-			failed = true
-		default:
-			fmt.Printf("ok   %-28s %d allocs/op (limit %d)\n", name, res.AllocsPerOp, limit)
+			continue
+		}
+		if g.MaxAllocsPerOp != nil {
+			switch {
+			case res.AllocsPerOp < 0:
+				fmt.Printf("FAIL %-28s has no allocs/op (run with -benchmem)\n", name)
+				failed = true
+			case res.AllocsPerOp > *g.MaxAllocsPerOp:
+				fmt.Printf("FAIL %-28s %d allocs/op, limit %d\n", name, res.AllocsPerOp, *g.MaxAllocsPerOp)
+				failed = true
+			default:
+				fmt.Printf("ok   %-28s %d allocs/op (limit %d)\n", name, res.AllocsPerOp, *g.MaxAllocsPerOp)
+			}
+		}
+		if g.MinEventsPerS != nil {
+			got, has := res.Extra["events/s"]
+			switch {
+			case !has:
+				fmt.Printf("FAIL %-28s reports no events/s metric (floor %.0f)\n", name, *g.MinEventsPerS)
+				failed = true
+			case got < *g.MinEventsPerS:
+				fmt.Printf("FAIL %-28s %.0f events/s, floor %.0f\n", name, got, *g.MinEventsPerS)
+				failed = true
+			default:
+				fmt.Printf("ok   %-28s %.0f events/s (floor %.0f)\n", name, got, *g.MinEventsPerS)
+			}
 		}
 	}
 	if failed {
-		fmt.Println("benchgate: allocation regression — raise the ceiling in the baseline only with a justifying commit")
+		fmt.Println("benchgate: benchmark regression — adjust the baseline only with a justifying commit")
 		os.Exit(1)
 	}
+}
+
+// gate is one benchmark's bounds: an allocs/op ceiling, an events/s
+// floor, or both.
+type gate struct {
+	MaxAllocsPerOp *int64   `json:"max_allocs_per_op"`
+	MinEventsPerS  *float64 `json:"min_events_per_s"`
+}
+
+func (g gate) String() string {
+	parts := ""
+	if g.MaxAllocsPerOp != nil {
+		parts = fmt.Sprintf("limit %d allocs/op", *g.MaxAllocsPerOp)
+	}
+	if g.MinEventsPerS != nil {
+		if parts != "" {
+			parts += ", "
+		}
+		parts += fmt.Sprintf("floor %.0f events/s", *g.MinEventsPerS)
+	}
+	if parts == "" {
+		return "no bounds"
+	}
+	return parts
+}
+
+// parseBaseline accepts both baseline forms per entry: a bare number is
+// an allocs/op ceiling (the original format), an object sets explicit
+// bounds. An entry with no bounds at all is a configuration error.
+func parseBaseline(raw []byte) (map[string]gate, error) {
+	var rough map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rough); err != nil {
+		return nil, err
+	}
+	out := make(map[string]gate, len(rough))
+	for name, msg := range rough {
+		var limit int64
+		if err := json.Unmarshal(msg, &limit); err == nil {
+			out[name] = gate{MaxAllocsPerOp: &limit}
+			continue
+		}
+		var g gate
+		if err := json.Unmarshal(msg, &g); err != nil {
+			return nil, fmt.Errorf("entry %q: want an allocs/op number or a bounds object: %w", name, err)
+		}
+		if g.MaxAllocsPerOp == nil && g.MinEventsPerS == nil {
+			return nil, fmt.Errorf("entry %q gates nothing", name)
+		}
+		out[name] = g
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -30,12 +31,16 @@ func main() {
 
 	par := model.Default()
 	s := sim.New()
-	c := fabric.NewRing(s, par, *hosts)
+	c, err := fabric.NewRing(s, par, *hosts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringviz: -hosts=%d: %v\n", *hosts, err)
+		os.Exit(2)
+	}
 	rec := trace.New()
 	rec.Attach(c)
 	w := core.NewWorld(c, core.Options{})
 
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	err = w.Run(func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, 256<<10)
 		buf := make([]byte, 256<<10)
 		pe.BarrierAll(p)

@@ -134,7 +134,10 @@ func runProgram(seed int64, opts core.Options, hosts int, verbose bool) error {
 
 	// Simulated execution.
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), hosts)
+	c, err := fabric.NewRing(s, model.Default(), hosts)
+	if err != nil {
+		return err
+	}
 	w := core.NewWorld(c, opts)
 	var firstErr error
 	fail := func(format string, args ...any) {

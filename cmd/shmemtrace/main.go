@@ -29,14 +29,18 @@ func main() {
 	flag.Parse()
 
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), *hosts)
+	c, err := fabric.NewRing(s, model.Default(), *hosts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shmemtrace: -hosts=%d: %v\n", *hosts, err)
+		os.Exit(2)
+	}
 	rec := trace.New()
 	rec.Attach(c)
 	ops := trace.NewOpRecorder()
 	w := core.NewWorld(c, core.Options{})
 	w.SetOpTrace(ops.OpHook())
 
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	err = w.Run(func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, *size)
 		buf := make([]byte, *size)
 		pe.BarrierAll(p)

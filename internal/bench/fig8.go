@@ -58,7 +58,10 @@ func Fig8Independent(par *model.Params, linkIdx, size int) float64 {
 func Fig8Ring(par *model.Params, n, size int) []float64 {
 	worldCount.Add(1)
 	s := sim.New()
-	c := fabric.NewRing(s, par, n)
+	c, err := fabric.NewRing(s, par, n)
+	if err != nil {
+		panic(fmt.Sprintf("bench: fig8-ring n=%d: %v", n, err))
+	}
 	tputs := make([]float64, n)
 	for i := 0; i < n; i++ {
 		i := i

@@ -220,7 +220,10 @@ func runRingWorld(label string, par *model.Params, n int, opts core.Options, bod
 	w, poolable := checkoutWorld(par, n, opts)
 	if w == nil {
 		s := sim.New()
-		c := fabric.NewRing(s, par, n)
+		c, err := fabric.NewRing(s, par, n)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s: %v", label, err))
+		}
 		w = core.NewWorld(c, opts)
 	}
 	err := w.RunKeep(body)

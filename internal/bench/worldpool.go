@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/sim"
 )
 
 // The world pool. PR 2's profiling showed world construction dominated by
@@ -27,6 +28,13 @@ import (
 // params clones), where pooling has no wins to offer anyway.
 const maxPooledWorlds = 32
 
+// maxPooledPEs bounds the pool by total parked PEs rather than world
+// count alone: a single 1024-PE world holds ~2k daemon goroutines and
+// megabytes of per-PE state, so weighting the budget by PEs keeps the
+// scaling sweep from pinning 32 such worlds (64k goroutines) in memory.
+// Worlds over the per-world budget are still poolable — one at a time.
+const maxPooledPEs = 4096
+
 // worldPoolOn gates the pool; see SetWorldPool. Defaults to enabled.
 var worldPoolOn atomic.Bool
 
@@ -35,16 +43,20 @@ func init() { worldPoolOn.Store(true) }
 var worldPool struct {
 	mu     sync.Mutex
 	worlds map[string][]*core.World
-	total  int
+	total  int // pooled worlds
+	pes    int // pooled PEs (sum of world sizes), budgeted by maxPooledPEs
 	hits   uint64
 	misses uint64
 }
 
 // worldFingerprint keys the pool by everything that shapes a ring world:
 // the full params value (params are mutated per point by some sweeps, so
-// pointer identity is useless), host count, and runtime options.
-func worldFingerprint(par *model.Params, n int, opts core.Options) string {
-	return fmt.Sprintf("%+v|n=%d|%+v", *par, n, opts)
+// pointer identity is useless), host count, runtime options, and the
+// event-scheduler kind the world's simulator was built with — an A/B
+// sweep over schedulers must not hand a heap-scheduled world to a
+// ladder-scheduled measurement.
+func worldFingerprint(par *model.Params, n int, opts core.Options, sched sim.SchedulerKind) string {
+	return fmt.Sprintf("%+v|n=%d|%+v|sched=%s", *par, n, opts, sched)
 }
 
 // SetWorldPool enables or disables world pooling for subsequent
@@ -80,6 +92,7 @@ func DrainWorldPool() {
 	}
 	worldPool.worlds = nil
 	worldPool.total = 0
+	worldPool.pes = 0
 	worldPool.mu.Unlock()
 	for _, w := range all {
 		w.Cluster.Sim.Shutdown()
@@ -97,7 +110,7 @@ func checkoutWorld(par *model.Params, n int, opts core.Options) (*core.World, bo
 	if !worldPoolOn.Load() {
 		return nil, false
 	}
-	key := worldFingerprint(par, n, opts)
+	key := worldFingerprint(par, n, opts, sim.DefaultScheduler())
 	worldPool.mu.Lock()
 	var w *core.World
 	if ws := worldPool.worlds[key]; len(ws) > 0 {
@@ -105,12 +118,13 @@ func checkoutWorld(par *model.Params, n int, opts core.Options) (*core.World, bo
 		ws[len(ws)-1] = nil
 		worldPool.worlds[key] = ws[:len(ws)-1]
 		worldPool.total--
+		worldPool.pes -= n
 		worldPool.hits++
 	} else {
 		worldPool.misses++
 	}
 	worldPool.mu.Unlock()
-	if w != nil && worldFingerprint(w.Cluster.Par, n, opts) != key {
+	if w != nil && worldFingerprint(w.Cluster.Par, n, opts, w.Cluster.Sim.Scheduler()) != key {
 		w.Cluster.Sim.Shutdown()
 		return nil, true
 	}
@@ -124,9 +138,13 @@ func checkinWorld(w *core.World, n int, opts core.Options) {
 		w.Cluster.Sim.Shutdown()
 		return
 	}
-	key := worldFingerprint(w.Cluster.Par, n, opts)
+	key := worldFingerprint(w.Cluster.Par, n, opts, w.Cluster.Sim.Scheduler())
 	worldPool.mu.Lock()
-	if worldPool.total >= maxPooledWorlds {
+	// Admit if both budgets hold; a world bigger than the whole PE
+	// budget is still admitted when the pool is empty, so thousand-PE
+	// sweeps keep exactly one warm world instead of rebuilding per point.
+	if worldPool.total >= maxPooledWorlds ||
+		(worldPool.pes+n > maxPooledPEs && worldPool.total > 0) {
 		worldPool.mu.Unlock()
 		w.Cluster.Sim.Shutdown()
 		return
@@ -136,5 +154,6 @@ func checkinWorld(w *core.World, n int, opts core.Options) {
 	}
 	worldPool.worlds[key] = append(worldPool.worlds[key], w)
 	worldPool.total++
+	worldPool.pes += n
 	worldPool.mu.Unlock()
 }

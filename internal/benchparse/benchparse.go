@@ -18,13 +18,16 @@ import (
 )
 
 // Result is one parsed benchmark line. Metrics that were absent from the
-// line (a run without -benchmem) are -1.
+// line (a run without -benchmem) are -1. Custom metrics emitted with
+// b.ReportMetric (events/s, worlds/s, ...) land in Extra keyed by their
+// unit string.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // trimProcs removes the -N GOMAXPROCS suffix from a benchmark name.
@@ -91,6 +94,15 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				res.AllocsPerOp = v
+			}
+		default:
+			// Custom b.ReportMetric units; anything non-numeric is one of
+			// the free-form words in a non-benchmark line, skipped.
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
 			}
 		}
 	}

@@ -150,12 +150,12 @@ func (pe *PE) amo(p *sim.Proc, target int, addr SymAddr, op AMOOp, w amoWidth, o
 	tx, nextHop := pe.txToward(dir)
 	tag := pe.newTag()
 	req := &pendingReq{cond: sim.NewCond(fmt.Sprintf("amo:%d:%d", pe.id, tag))}
-	pe.pending[tag] = req
+	pe.addPending(tag, req)
 	defer delete(pe.pending, tag)
 	info := driver.Info{
 		Kind:   driver.KindAMO,
-		Src:    uint8(pe.id),
-		Dst:    uint8(target),
+		Src:    uint16(pe.id),
+		Dst:    uint16(target),
 		Dir:    dir,
 		Region: pe.regionFor(target, nextHop),
 		Size:   16,

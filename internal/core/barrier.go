@@ -95,8 +95,8 @@ func (pe *PE) sendCtl(p *sim.Proc, target, round int) {
 	tx, nextHop := pe.txToward(dir)
 	info := driver.Info{
 		Kind:   driver.KindBarrierCtl,
-		Src:    uint8(pe.id),
-		Dst:    uint8(target),
+		Src:    uint16(pe.id),
+		Dst:    uint16(target),
 		Dir:    dir,
 		Region: pe.regionFor(target, nextHop),
 		Tag:    pe.ctlKey(round),
@@ -111,9 +111,11 @@ func (pe *PE) waitCtl(p *sim.Proc, round, count int) {
 	for pe.ctl[key] < count {
 		pe.ctlCond.Wait(p)
 	}
-	pe.ctl[key] -= count
-	if pe.ctl[key] == 0 {
-		delete(pe.ctl, key)
+	if count > 0 { // count==0 must not fault the lazily created table
+		pe.ctl[key] -= count
+		if pe.ctl[key] == 0 {
+			delete(pe.ctl, key)
+		}
 	}
 	p.Sleep(pe.par.AppWake)
 }

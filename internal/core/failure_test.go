@@ -16,7 +16,10 @@ import (
 
 func TestPutAcrossCutLinkHangsDetectably(t *testing.T) {
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 3)
+	c, err := fabric.NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := NewWorld(c, Options{})
 	w.Launch(func(p *sim.Proc, pe *PE) {
 		sym := pe.MustMalloc(p, 4096)
@@ -27,7 +30,7 @@ func TestPutAcrossCutLinkHangsDetectably(t *testing.T) {
 		}
 		pe.BarrierAll(p)
 	})
-	err := s.Run()
+	err = s.Run()
 	if err == nil {
 		t.Fatal("put across a cut link completed")
 	}
@@ -43,7 +46,10 @@ func TestTrafficAvoidingCutLinkStillWorks(t *testing.T) {
 	// confirm it without any barrier (barrier tokens would have to
 	// cross the dead cable).
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 3)
+	c, err := fabric.NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := NewWorld(c, Options{Routing: RouteShortest})
 	var back1, back2 []byte
 	w.Launch(func(p *sim.Proc, pe *PE) {
@@ -72,7 +78,10 @@ func TestCutLinkUnderPipelinedProtocol(t *testing.T) {
 	// sender running out of credits (receiver's ACK doorbells vanish) or
 	// its DMA wedging — either way the deadlock detector names it.
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 3)
+	c, err := fabric.NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := NewWorld(c, Options{Pipeline: 2})
 	w.Launch(func(p *sim.Proc, pe *PE) {
 		sym := pe.MustMalloc(p, 256<<10)
@@ -84,7 +93,7 @@ func TestCutLinkUnderPipelinedProtocol(t *testing.T) {
 		}
 		pe.BarrierAll(p)
 	})
-	err := s.Run()
+	err = s.Run()
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("expected detectable hang, got %v", err)
 	}

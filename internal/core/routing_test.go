@@ -16,7 +16,10 @@ import (
 // newWorldOpts builds an n-host world with explicit options.
 func newWorldOpts(n int, opts Options) *World {
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), n)
+	c, err := fabric.NewRing(s, model.Default(), n)
+	if err != nil {
+		panic(err)
+	}
 	return NewWorld(c, opts)
 }
 

@@ -90,7 +90,7 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 		ack(p)
 		reply := driver.Info{
 			Kind:   driver.KindGetData,
-			Src:    uint8(pe.id),
+			Src:    uint16(pe.id),
 			Dst:    info.Src,
 			Dir:    oppositeDir(info.Dir),
 			Size:   uint32(n),
@@ -122,7 +122,7 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 		old := pe.applyAMO(p, info, operands)
 		reply := driver.Info{
 			Kind: driver.KindAMOReply,
-			Src:  uint8(pe.id),
+			Src:  uint16(pe.id),
 			Dst:  info.Src,
 			Dir:  oppositeDir(info.Dir),
 			Tag:  info.Tag,
@@ -143,6 +143,9 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 
 	case driver.KindBarrierCtl:
 		ack(p)
+		if pe.ctl == nil {
+			pe.ctl = make(map[uint32]int)
+		}
 		pe.ctl[info.Tag]++
 		pe.ctlCond.Broadcast()
 

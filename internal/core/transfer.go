@@ -41,8 +41,8 @@ func (pe *PE) PutBytes(p *sim.Proc, target int, dst SymAddr, src []byte) {
 		}
 		info := driver.Info{
 			Kind:   driver.KindPut,
-			Src:    uint8(pe.id),
-			Dst:    uint8(target),
+			Src:    uint16(pe.id),
+			Dst:    uint16(target),
 			Dir:    dir,
 			Region: region,
 			Size:   uint32(n),
@@ -79,7 +79,7 @@ func (pe *PE) GetBytes(p *sim.Proc, target int, src SymAddr, dst []byte) {
 	region := pe.regionFor(target, nextHop)
 	tag := pe.newTag()
 	req := &pendingReq{buf: dst, cond: sim.NewCond(fmt.Sprintf("get:%d:%d", pe.id, tag))}
-	pe.pending[tag] = req
+	pe.addPending(tag, req)
 	defer delete(pe.pending, tag)
 	for off := 0; off < len(dst); off += pe.par.GetChunk {
 		n := len(dst) - off
@@ -88,8 +88,8 @@ func (pe *PE) GetBytes(p *sim.Proc, target int, src SymAddr, dst []byte) {
 		}
 		info := driver.Info{
 			Kind:   driver.KindGetReq,
-			Src:    uint8(pe.id),
-			Dst:    uint8(target),
+			Src:    uint16(pe.id),
+			Dst:    uint16(target),
 			Dir:    dir,
 			Region: region,
 			SymOff: uint64(src),

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/driver"
@@ -181,11 +182,13 @@ type PE struct {
 	startQL, endQL *sim.Queue[struct{}]
 	barrierEpoch   uint32
 
-	// Control tokens for the alternative barrier algorithms.
+	// Control tokens for the alternative barrier algorithms (lazily
+	// created on first token; most PEs of a ring-barrier world never
+	// see one, and a 1k-PE world must not pay 1k empty maps).
 	ctl     map[uint32]int
 	ctlCond *sim.Cond // reset: keep — no waiters survive a clean run
 
-	// Pending get/AMO requests by tag.
+	// Pending get/AMO requests by tag (lazily created on first request).
 	pending map[uint32]*pendingReq
 	nextTag uint32
 
@@ -210,6 +213,22 @@ type PE struct {
 	heapWrite *sim.Cond // reset: keep — no waiters survive a clean run
 
 	stats Stats
+}
+
+// peName builds "prefix<id>" with plain integer formatting; world
+// construction names a dozen queues, conds, and daemons per PE, and at
+// a thousand PEs fmt's reflection cost shows up in pool-miss latency.
+func peName(prefix string, id int) string {
+	return prefix + strconv.Itoa(id)
+}
+
+// addPending registers an in-flight get/AMO under tag, creating the
+// table on first use so idle PEs carry no request state.
+func (pe *PE) addPending(tag uint32, req *pendingReq) {
+	if pe.pending == nil {
+		pe.pending = make(map[uint32]*pendingReq)
+	}
+	pe.pending[tag] = req
 }
 
 // fwdMsg is a staged chunk awaiting relay by the forwarder thread.
@@ -263,19 +282,17 @@ func NewWorld(c *fabric.Cluster, opts Options) *World {
 			par:       c.Par,
 			mode:      opts.Mode,
 			heap:      mem.NewHeap(c.Par.SymHeapChunk, c.Par.SymHeapMax),
-			svcQ:      sim.NewQueue[*ntb.Port](fmt.Sprintf("svc:%d", h.ID)),
-			svcIdle:   sim.NewCond(fmt.Sprintf("svc-idle:%d", h.ID)),
-			fwdQ:      sim.NewQueue[*fwdMsg](fmt.Sprintf("fwd:%d", h.ID)),
-			fwdIdle:   sim.NewCond(fmt.Sprintf("fwd-idle:%d", h.ID)),
-			startQ:    sim.NewQueue[struct{}](fmt.Sprintf("barrier-start:%d", h.ID)),
-			endQ:      sim.NewQueue[struct{}](fmt.Sprintf("barrier-end:%d", h.ID)),
-			startQL:   sim.NewQueue[struct{}](fmt.Sprintf("barrier-start-left:%d", h.ID)),
-			endQL:     sim.NewQueue[struct{}](fmt.Sprintf("barrier-end-left:%d", h.ID)),
-			ctl:       make(map[uint32]int),
-			ctlCond:   sim.NewCond(fmt.Sprintf("ctl:%d", h.ID)),
-			pending:   make(map[uint32]*pendingReq),
-			quietCond: sim.NewCond(fmt.Sprintf("quiet:%d", h.ID)),
-			heapWrite: sim.NewCond(fmt.Sprintf("heap-write:%d", h.ID)),
+			svcQ:      sim.NewQueue[*ntb.Port](peName("svc:", h.ID)),
+			svcIdle:   sim.NewCond(peName("svc-idle:", h.ID)),
+			fwdQ:      sim.NewQueue[*fwdMsg](peName("fwd:", h.ID)),
+			fwdIdle:   sim.NewCond(peName("fwd-idle:", h.ID)),
+			startQ:    sim.NewQueue[struct{}](peName("barrier-start:", h.ID)),
+			endQ:      sim.NewQueue[struct{}](peName("barrier-end:", h.ID)),
+			startQL:   sim.NewQueue[struct{}](peName("barrier-start-left:", h.ID)),
+			endQL:     sim.NewQueue[struct{}](peName("barrier-end-left:", h.ID)),
+			ctlCond:   sim.NewCond(peName("ctl:", h.ID)),
+			quietCond: sim.NewCond(peName("quiet:", h.ID)),
+			heapWrite: sim.NewCond(peName("heap-write:", h.ID)),
 		}
 		w.pes = append(w.pes, pe)
 		pe.install()
@@ -341,7 +358,7 @@ func (pe *PE) install() {
 func (w *World) Launch(body func(p *sim.Proc, pe *PE)) {
 	for _, pe := range w.pes {
 		pe := pe
-		w.Cluster.Sim.Go(fmt.Sprintf("pe:%d", pe.id), func(p *sim.Proc) {
+		w.Cluster.Sim.Go(peName("pe:", pe.id), func(p *sim.Proc) {
 			pe.initPE(p)
 			body(p, pe)
 		})

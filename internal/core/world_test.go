@@ -16,7 +16,10 @@ import (
 // newWorld builds an n-host ring world with the default profile.
 func newWorld(n int, opts Options) *World {
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), n)
+	c, err := fabric.NewRing(s, model.Default(), n)
+	if err != nil {
+		panic(err)
+	}
 	return NewWorld(c, opts)
 }
 

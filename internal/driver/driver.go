@@ -108,19 +108,46 @@ func (d Dir) String() string {
 	return "right"
 }
 
+// MaxHosts is the largest ring the Info header word can address: the
+// packed header carries 11 bits per host Id (see the layout below), so
+// worlds scale to 2047 hosts without widening the record beyond its
+// seven scratchpad registers.
+const MaxHosts = 1<<11 - 1
+
 // Info is the transfer-information record exchanged through scratchpads.
 // It packs into seven 32-bit registers; the eighth is reserved for the
 // boot-time host-Id/BAR exchange.
+//
+// The header register packs, LSB first: Kind (6 bits), Region (2 bits),
+// Dir (1 bit), one spare bit, Src (11 bits), Dst (11 bits). Host Ids got
+// 11 bits each — not the byte they historically occupied — so rings
+// larger than 256 hosts stay addressable.
 type Info struct {
 	Kind   Kind
-	Src    uint8      // host Id of the original source PE
-	Dst    uint8      // host Id of the final destination PE
+	Src    uint16     // host Id of the original source PE
+	Dst    uint16     // host Id of the final destination PE
 	Region ntb.Region // inbound window the chunk landed in
 	Dir    Dir        // ring direction the message is travelling
 	Size   uint32     // payload bytes in the window; for KindGetReq, the requested bytes
 	SymOff uint64     // symmetric-heap offset (put target / get source)
 	Tag    uint32     // request identity for get/AMO replies
 	Aux    uint64     // chunk offset within the request, or AMO operand
+}
+
+// headerWord packs the kind/region/dir/src/dst fields into the 32-bit
+// header register.
+func (in *Info) headerWord() uint32 {
+	return uint32(in.Kind)&0x3F | uint32(in.Region)&0x3<<6 | uint32(in.Dir)&0x1<<8 |
+		uint32(in.Src)&0x7FF<<10 | uint32(in.Dst)&0x7FF<<21
+}
+
+// unpackHeader fills the fields encoded in the header register.
+func (in *Info) unpackHeader(header uint32) {
+	in.Kind = Kind(header & 0x3F)
+	in.Region = ntb.Region(header >> 6 & 0x3)
+	in.Dir = Dir(header >> 8 & 0x1)
+	in.Src = uint16(header >> 10 & 0x7FF)
+	in.Dst = uint16(header >> 21 & 0x7FF)
 }
 
 // spad indices used by the Info codec and boot exchange.
@@ -139,9 +166,7 @@ const (
 // writeTo publishes the record into the peer's scratchpads (seven posted
 // MMIO writes across the link).
 func (in *Info) writeTo(p *sim.Proc, port *ntb.Port) {
-	header := uint32(in.Kind) | uint32(in.Src)<<8 | uint32(in.Dst)<<16 |
-		uint32(in.Region)<<24 | uint32(in.Dir)<<28
-	port.PeerSpadWrite(p, spadHeader, header)
+	port.PeerSpadWrite(p, spadHeader, in.headerWord())
 	port.PeerSpadWrite(p, spadSize, in.Size)
 	port.PeerSpadWrite(p, spadOffLo, uint32(in.SymOff))
 	port.PeerSpadWrite(p, spadOffHi, uint32(in.SymOff>>32))
@@ -153,18 +178,14 @@ func (in *Info) writeTo(p *sim.Proc, port *ntb.Port) {
 // ReadInfo decodes the record from the local scratchpads (seven local
 // register reads).
 func ReadInfo(p *sim.Proc, port *ntb.Port) Info {
-	header := port.SpadRead(p, spadHeader)
-	return Info{
-		Kind:   Kind(header & 0xFF),
-		Src:    uint8(header >> 8),
-		Dst:    uint8(header >> 16),
-		Region: ntb.Region(header >> 24 & 0xF),
-		Dir:    Dir(header >> 28),
+	in := Info{
 		Size:   port.SpadRead(p, spadSize),
 		SymOff: uint64(port.SpadRead(p, spadOffLo)) | uint64(port.SpadRead(p, spadOffHi))<<32,
 		Tag:    port.SpadRead(p, spadTag),
 		Aux:    uint64(port.SpadRead(p, spadAuxLo)) | uint64(port.SpadRead(p, spadAuxHi))<<32,
 	}
+	in.unpackHeader(port.SpadRead(p, spadHeader))
+	return in
 }
 
 // Endpoint wraps one port with doorbell-vector dispatch. Handlers run in

@@ -284,11 +284,11 @@ func TestEndpointVectorDispatch(t *testing.T) {
 func TestInfoCodecProperty(t *testing.T) {
 	// Property: the scratchpad codec is the identity for every field
 	// within wire widths.
-	f := func(kind uint8, src, dst uint8, region uint8, dir bool, size, tag uint32, symOff, aux uint64) bool {
+	f := func(kind uint8, src, dst uint16, region uint8, dir bool, size, tag uint32, symOff, aux uint64) bool {
 		in := Info{
 			Kind:   Kind(kind%6 + 1),
-			Src:    src,
-			Dst:    dst,
+			Src:    src % (MaxHosts + 1),
+			Dst:    dst % (MaxHosts + 1),
 			Region: ntb.Region(region % 2),
 			Size:   size,
 			SymOff: symOff,
@@ -315,11 +315,11 @@ func TestInfoCodecProperty(t *testing.T) {
 }
 
 func TestSlotHeaderCodecProperty(t *testing.T) {
-	f := func(kind uint8, src, dst uint8, dir bool, size, tag, seq uint32, symOff, aux uint64) bool {
+	f := func(kind uint8, src, dst uint16, dir bool, size, tag, seq uint32, symOff, aux uint64) bool {
 		in := Info{
 			Kind:   Kind(kind%6 + 1),
-			Src:    src,
-			Dst:    dst,
+			Src:    src % (MaxHosts + 1),
+			Dst:    dst % (MaxHosts + 1),
 			Region: ntb.RegionData,
 			Size:   size,
 			SymOff: symOff,

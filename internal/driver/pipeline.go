@@ -73,8 +73,7 @@ func encodeSlotHeader(dst []byte, seq uint32, info *Info) {
 		dst[off+3] = byte(v >> 24)
 	}
 	le32(hdrSeq, seq)
-	le32(hdrInfo, uint32(info.Kind)|uint32(info.Src)<<8|uint32(info.Dst)<<16|
-		uint32(info.Region)<<24|uint32(info.Dir)<<28)
+	le32(hdrInfo, info.headerWord())
 	le32(hdrSize, info.Size)
 	le32(hdrOffLo, uint32(info.SymOff))
 	le32(hdrOffHi, uint32(info.SymOff>>32))
@@ -93,18 +92,13 @@ func decodeSlotHeader(src []byte) (seq uint32, info Info, ok bool) {
 	if rd(hdrValid) != 1 {
 		return 0, Info{}, false
 	}
-	h := rd(hdrInfo)
 	info = Info{
-		Kind:   Kind(h & 0xFF),
-		Src:    uint8(h >> 8),
-		Dst:    uint8(h >> 16),
-		Region: ntb.Region(h >> 24 & 0xF),
-		Dir:    Dir(h >> 28),
 		Size:   rd(hdrSize),
 		SymOff: uint64(rd(hdrOffLo)) | uint64(rd(hdrOffHi))<<32,
 		Tag:    rd(hdrTag),
 		Aux:    uint64(rd(hdrAuxLo)) | uint64(rd(hdrAuxHi))<<32,
 	}
+	info.unpackHeader(rd(hdrInfo))
 	return rd(hdrSeq), info, true
 }
 

@@ -38,13 +38,22 @@ type Cluster struct {
 	ring  bool // reset: keep — topology identity
 }
 
-// NewRing builds the paper's switchless ring of n ≥ 2 hosts. Host i's
-// right adapter is cabled to host (i+1) mod n's left adapter; with n = 2
-// this yields two physical links, one per adapter pair, exactly as two
-// dual-adapter hosts would be cabled.
-func NewRing(s *sim.Simulator, par *model.Params, n int) *Cluster {
+// MaxHosts is the largest ring NewRing accepts, bounded by the driver's
+// Info header host-Id width.
+const MaxHosts = driver.MaxHosts
+
+// NewRing builds the paper's switchless ring of n hosts, 2 ≤ n ≤
+// MaxHosts. Host i's right adapter is cabled to host (i+1) mod n's left
+// adapter; with n = 2 this yields two physical links, one per adapter
+// pair, exactly as two dual-adapter hosts would be cabled. A host count
+// outside the buildable range returns a descriptive error rather than
+// panicking — ring size is routinely user input (flags, sweep axes).
+func NewRing(s *sim.Simulator, par *model.Params, n int) (*Cluster, error) {
 	if n < 2 {
-		panic(fmt.Sprintf("fabric: ring needs >= 2 hosts, got %d", n))
+		return nil, fmt.Errorf("fabric: a ring needs at least 2 hosts (each cabled to two neighbours), got %d", n)
+	}
+	if n > MaxHosts {
+		return nil, fmt.Errorf("fabric: ring of %d hosts exceeds the %d-host limit of the driver's Info record", n, MaxHosts)
 	}
 	c := newCluster(s, par, n)
 	c.ring = true
@@ -61,7 +70,7 @@ func NewRing(s *sim.Simulator, par *model.Params, n int) *Cluster {
 	for _, h := range c.Hosts {
 		h.finishSides(par)
 	}
-	return c
+	return c, nil
 }
 
 // NewPair builds the Fig 8 "independent" baseline: two hosts joined by a
@@ -97,15 +106,19 @@ func newCluster(s *sim.Simulator, par *model.Params, n int) *Cluster {
 }
 
 // finishSides builds endpoints and transmit channels for the cabled
-// sides and assigns the PCIe requester IDs the LUTs filter on.
+// sides and assigns the PCIe requester IDs the LUTs filter on: bit 0
+// carries the side, the rest the host Id plus one (so no assigned ID is
+// the unconfigured-port zero), giving every adapter in a ring of any
+// buildable size a unique ID. (The historical right-side scheme,
+// id<<1|0x100, collided across hosts 128 apart.)
 func (h *Host) finishSides(par *model.Params) {
 	if h.Left != nil {
-		h.Left.SetRequesterID(uint16(h.ID)<<1 | 1)
+		h.Left.SetRequesterID(uint16(h.ID+1)<<1 | 1)
 		h.LeftEP = driver.NewEndpoint(h.Left)
 		h.TxLeft = driver.NewTxChannel(h.LeftEP, par)
 	}
 	if h.Right != nil {
-		h.Right.SetRequesterID(uint16(h.ID)<<1 | 0x100)
+		h.Right.SetRequesterID(uint16(h.ID+1) << 1)
 		h.RightEP = driver.NewEndpoint(h.Right)
 		h.TxRight = driver.NewTxChannel(h.RightEP, par)
 	}

@@ -12,7 +12,10 @@ func TestRingWiring(t *testing.T) {
 	for _, n := range []int{2, 3, 4, 8} {
 		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
 			s := sim.New()
-			c := NewRing(s, model.Default(), n)
+			c, err := NewRing(s, model.Default(), n)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if c.N() != n {
 				t.Fatalf("N = %d", c.N())
 			}
@@ -32,13 +35,16 @@ func TestRingWiring(t *testing.T) {
 	}
 }
 
-func TestRingTooSmallPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewRing(1) did not panic")
+func TestRingSizeValidation(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, MaxHosts + 1} {
+		c, err := NewRing(sim.New(), model.Default(), n)
+		if err == nil || c != nil {
+			t.Fatalf("NewRing(%d) = (%v, %v), want descriptive error", n, c, err)
 		}
-	}()
-	NewRing(sim.New(), model.Default(), 1)
+	}
+	if _, err := NewRing(sim.New(), model.Default(), 2); err != nil {
+		t.Fatalf("NewRing(2): %v", err)
+	}
 }
 
 func TestPairWiring(t *testing.T) {
@@ -61,7 +67,10 @@ func TestPairWiring(t *testing.T) {
 
 func TestNeighborsAndHops(t *testing.T) {
 	s := sim.New()
-	c := NewRing(s, model.Default(), 4)
+	c, err := NewRing(s, model.Default(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h1 := c.Hosts[1]
 	if h1.RightNeighbor() != 2 || h1.LeftNeighbor() != 0 {
 		t.Fatalf("neighbors of 1 = (%d, %d)", h1.LeftNeighbor(), h1.RightNeighbor())
@@ -82,7 +91,10 @@ func TestNeighborsAndHops(t *testing.T) {
 
 func TestBootExchangesIDs(t *testing.T) {
 	s := sim.New()
-	c := NewRing(s, model.Default(), 3)
+	c, err := NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	type res struct{ left, right int }
 	results := make([]res, 3)
 	for _, h := range c.Hosts {
@@ -129,12 +141,15 @@ func TestBadProfileRejected(t *testing.T) {
 			t.Fatal("invalid profile accepted")
 		}
 	}()
-	NewRing(sim.New(), p, 3)
+	NewRing(sim.New(), p, 3) //nolint:errcheck — panics before returning
 }
 
 func TestBootProgramsLUTs(t *testing.T) {
 	s := sim.New()
-	c := NewRing(s, model.Default(), 3)
+	c, err := NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, h := range c.Hosts {
 		h := h
 		s.Go(fmt.Sprintf("boot%d", h.ID), func(p *sim.Proc) { h.Boot(p) })

@@ -60,3 +60,33 @@ func BenchmarkSimPingPong(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)*rounds/b.Elapsed().Seconds(), "rounds/s")
 }
+
+// BenchmarkLadderQueueChurn measures the ladder queue's steady state in
+// isolation: one pop plus one re-push per op against a standing
+// population large enough to keep events flowing through rungs and the
+// top tier. After warm-up the churn must be allocation-free — bucket
+// arrays, rung slots, and the bottom heap's backing are all reused.
+func BenchmarkLadderQueueChurn(b *testing.B) {
+	const standing = 4096
+	const stride = Duration(257) // odd stride scatters events across buckets
+	var q ladderQueue
+	var seq uint64
+	for i := 0; i < standing; i++ {
+		q.push(event{t: Time(i) * 997, seq: seq})
+		seq++
+	}
+	// Warm one full churn cycle so every tier has spawned and settled
+	// its backing storage before the measured (and gated) window.
+	for i := 0; i < standing*4; i++ {
+		e := q.pop()
+		q.push(event{t: e.t.Add(stride * standing), seq: seq})
+		seq++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		q.push(event{t: e.t.Add(stride * standing), seq: seq})
+		seq++
+	}
+}

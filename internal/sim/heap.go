@@ -67,6 +67,15 @@ func (h *eventHeap) peek() *event {
 	return &h.items[0]
 }
 
+// reset empties the heap for pooled reuse, releasing event references
+// while keeping the backing array warm.
+func (h *eventHeap) reset() {
+	for i := range h.items {
+		h.items[i] = event{}
+	}
+	h.items = h.items[:0]
+}
+
 //ntblint:allocfree
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.items)

@@ -15,7 +15,15 @@ import (
 type Simulator struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	sched  SchedulerKind // reset: keep — construction identity
+	events eventQueue    // points at ladderQ or heapQ below
+
+	// The queue backings live inside the Simulator so selecting one via
+	// the interface field costs no extra allocation. Only the one events
+	// points at is ever non-empty; Reset rewinds it through the
+	// interface.
+	ladderQ ladderQueue // reset: keep — reset via events (inactive backing stays empty)
+	heapQ   eventHeap   // reset: keep — reset via events (inactive backing stays empty)
 
 	// ready is the same-timestamp fast path: events scheduled for the
 	// current instant never touch the heap. Because seq grows
@@ -44,15 +52,34 @@ type Simulator struct {
 // unwinding the goroutine.
 var errKilled = fmt.Errorf("sim: blocking call during Shutdown teardown")
 
-// New returns an empty simulator positioned at virtual time zero.
+// New returns an empty simulator positioned at virtual time zero, using
+// the process-default scheduler (see SetDefaultScheduler).
 func New() *Simulator {
-	return &Simulator{
-		events:  eventHeap{items: make([]event, 0, 128)},
+	return NewWith(DefaultScheduler())
+}
+
+// NewWith returns an empty simulator backed by the given event-queue
+// implementation. Dispatch order is identical for every kind; the choice
+// only affects host-side speed.
+func NewWith(kind SchedulerKind) *Simulator {
+	s := &Simulator{
+		sched:   kind,
 		ready:   make([]event, 0, 64),
 		yielded: make(chan struct{}),
 		procs:   make(map[*Proc]struct{}),
 	}
+	if kind == SchedulerHeap {
+		s.heapQ.items = make([]event, 0, 128)
+		s.events = &s.heapQ
+	} else {
+		s.ladderQ.bottom.items = make([]event, 0, 128)
+		s.events = &s.ladderQ
+	}
+	return s
 }
+
+// Scheduler reports which event-queue implementation backs s.
+func (s *Simulator) Scheduler() SchedulerKind { return s.sched }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
@@ -322,7 +349,7 @@ func (s *Simulator) Reset() {
 	s.now = 0
 	s.seq = 0
 	s.executed = 0
-	s.events.items = s.events.items[:0]
+	s.events.reset()
 	s.ready = s.ready[:0]
 	s.readyHead = 0
 }
@@ -353,6 +380,8 @@ func (s *Simulator) Shutdown() {
 		}
 	}
 	s.procs = make(map[*Proc]struct{})
-	s.events = eventHeap{}
+	s.ladderQ = ladderQueue{}
+	s.heapQ = eventHeap{}
+	s.events = &s.heapQ
 	s.ready, s.readyHead = nil, 0
 }

@@ -16,13 +16,16 @@ import (
 func capture(t *testing.T, pipeline int) (chrome []byte, devTable, opTable string) {
 	t.Helper()
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 4)
+	c, err := fabric.NewRing(s, model.Default(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := New()
 	rec.Attach(c)
 	ops := NewOpRecorder()
 	w := core.NewWorld(c, core.Options{Pipeline: pipeline})
 	w.SetOpTrace(ops.OpHook())
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	err = w.Run(func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, 64<<10)
 		ctr := pe.MustMalloc(p, 8)
 		buf := make([]byte, 64<<10)

@@ -17,11 +17,14 @@ import (
 func tracedRun(t *testing.T) (*Recorder, sim.Time) {
 	t.Helper()
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 3)
+	c, err := fabric.NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := New()
 	rec.Attach(c)
 	w := core.NewWorld(c, core.Options{})
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	err = w.Run(func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, 64<<10)
 		pe.BarrierAll(p)
 		if pe.ID() == 0 {
@@ -147,11 +150,14 @@ func TestReset(t *testing.T) {
 
 func TestOpRecorder(t *testing.T) {
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 3)
+	c, err := fabric.NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := core.NewWorld(c, core.Options{})
 	rec := NewOpRecorder()
 	w.SetOpTrace(rec.OpHook())
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	err = w.Run(func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, 8192)
 		ctr := pe.MustMalloc(p, 8)
 		pe.BarrierAll(p)
@@ -198,13 +204,16 @@ func TestTraceUnderPipelinedProtocol(t *testing.T) {
 	// The device recorder and op recorder must keep working when the
 	// pipelined link protocol replaces the scratchpad path.
 	s := sim.New()
-	c := fabric.NewRing(s, model.Default(), 3)
+	c, err := fabric.NewRing(s, model.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := New()
 	rec.Attach(c)
 	w := core.NewWorld(c, core.Options{Pipeline: 4})
 	ops := NewOpRecorder()
 	w.SetOpTrace(ops.OpHook())
-	err := w.Run(func(p *sim.Proc, pe *core.PE) {
+	err = w.Run(func(p *sim.Proc, pe *core.PE) {
 		sym := pe.MustMalloc(p, 128<<10)
 		pe.BarrierAll(p)
 		if pe.ID() == 0 {

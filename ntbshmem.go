@@ -186,7 +186,10 @@ func NewJob(cfg Config) *Job {
 		par = model.Default()
 	}
 	s := sim.New()
-	cluster := fabric.NewRing(s, par, cfg.Hosts)
+	cluster, err := fabric.NewRing(s, par, cfg.Hosts)
+	if err != nil {
+		panic("ntbshmem: " + err.Error())
+	}
 	world := core.NewWorld(cluster, core.Options{
 		Mode:     cfg.Mode,
 		Barrier:  cfg.Barrier,
