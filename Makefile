@@ -39,7 +39,8 @@ bench:
 #     construction amortises identically run to run), checked against
 #     the committed allocs/op ceilings in bench_baseline.json;
 #  3. a fast reproduce run that writes BENCH.json: per-figure wall
-#     clock, worlds/s, pool hit rate, and the step-2 allocs/op numbers.
+#     clock, worlds/s, pool hit rate, the interleaved snapshot-fork A/B
+#     (-fork-ab), and the step-2 allocs/op numbers.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/pcie ./internal/driver ./internal/sim ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkWorldPut1M$$|BenchmarkFlowNetChurn$$' -benchmem -benchtime 500x \
@@ -48,8 +49,10 @@ bench-smoke:
 		./internal/sim | tee -a bench_gate.out
 	$(GO) test -run xxx -bench 'BenchmarkScaleWorld256$$' -benchmem -benchtime 10x \
 		./internal/bench | tee -a bench_gate.out
+	$(GO) test -run xxx -bench 'BenchmarkWorldFork$$' -benchmem -benchtime 200x \
+		./internal/bench | tee -a bench_gate.out
 	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -input bench_gate.out
-	$(GO) run ./cmd/reproduce -skip-ablations -bench-json BENCH.json -bench-input bench_gate.out > /dev/null
+	$(GO) run ./cmd/reproduce -skip-ablations -fork-ab 8 -bench-json BENCH.json -bench-input bench_gate.out > /dev/null
 	rm -f bench_gate.out
 
 # Profile a full reproduce run; inspect with `go tool pprof cpu.pprof`

@@ -109,6 +109,19 @@ func main() {
 				fmt.Printf("ok   %-28s %.0f events/s (floor %.0f)\n", name, got, *g.MinEventsPerS)
 			}
 		}
+		if g.MinForksPerS != nil {
+			got, has := res.Extra["forks/s"]
+			switch {
+			case !has:
+				fmt.Printf("FAIL %-28s reports no forks/s metric (floor %.0f)\n", name, *g.MinForksPerS)
+				failed = true
+			case got < *g.MinForksPerS:
+				fmt.Printf("FAIL %-28s %.0f forks/s, floor %.0f\n", name, got, *g.MinForksPerS)
+				failed = true
+			default:
+				fmt.Printf("ok   %-28s %.0f forks/s (floor %.0f)\n", name, got, *g.MinForksPerS)
+			}
+		}
 	}
 	if failed {
 		fmt.Println("benchgate: benchmark regression — adjust the baseline only with a justifying commit")
@@ -116,11 +129,12 @@ func main() {
 	}
 }
 
-// gate is one benchmark's bounds: an allocs/op ceiling, an events/s
-// floor, or both.
+// gate is one benchmark's bounds: an allocs/op ceiling and/or floors on
+// the custom throughput metrics benchmarks emit with b.ReportMetric.
 type gate struct {
 	MaxAllocsPerOp *int64   `json:"max_allocs_per_op"`
 	MinEventsPerS  *float64 `json:"min_events_per_s"`
+	MinForksPerS   *float64 `json:"min_forks_per_s"`
 }
 
 func (g gate) String() string {
@@ -133,6 +147,12 @@ func (g gate) String() string {
 			parts += ", "
 		}
 		parts += fmt.Sprintf("floor %.0f events/s", *g.MinEventsPerS)
+	}
+	if g.MinForksPerS != nil {
+		if parts != "" {
+			parts += ", "
+		}
+		parts += fmt.Sprintf("floor %.0f forks/s", *g.MinForksPerS)
 	}
 	if parts == "" {
 		return "no bounds"
@@ -159,7 +179,7 @@ func parseBaseline(raw []byte) (map[string]gate, error) {
 		if err := json.Unmarshal(msg, &g); err != nil {
 			return nil, fmt.Errorf("entry %q: want an allocs/op number or a bounds object: %w", name, err)
 		}
-		if g.MaxAllocsPerOp == nil && g.MinEventsPerS == nil {
+		if g.MaxAllocsPerOp == nil && g.MinEventsPerS == nil && g.MinForksPerS == nil {
 			return nil, fmt.Errorf("entry %q gates nothing", name)
 		}
 		out[name] = g

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -49,18 +51,40 @@ type scalePoint struct {
 	NsPerEvent    float64 `json:"ns_per_event"`
 }
 
+// forkABResult is the interleaved fork on/off A/B over the prefix-heavy
+// probe workload: the snapshot-fork analogue of PR 3's pool A/B.
+type forkABResult struct {
+	Points                int     `json:"points"`
+	RepsPerMode           int     `json:"reps_per_mode"`
+	PrefixRounds          int     `json:"prefix_rounds"`
+	PrefixFillBytes       int     `json:"prefix_fill_bytes"`
+	MedianWorldsPerSecOff float64 `json:"median_worlds_per_s_off"`
+	MedianWorldsPerSecOn  float64 `json:"median_worlds_per_s_on"`
+	Speedup               float64 `json:"speedup"`
+}
+
 // benchReport is the machine-readable record of a reproduce run, written
 // by -bench-json (BENCH.json in CI's bench-smoke target).
 type benchReport struct {
 	Parallelism int            `json:"parallelism"`
 	Scheduler   string         `json:"scheduler"`
 	WorldPool   bool           `json:"world_pool"`
+	WorldFork   bool           `json:"world_fork"`
 	Figures     []figureMetric `json:"figures"`
 	// Scaling is the ring-size sweep (-scaling): engine throughput vs PE
 	// count under the selected scheduler, plus a heap-scheduler baseline
 	// at the smallest ring for per-event comparison.
 	Scaling []scalePoint `json:"scaling,omitempty"`
-	Totals      struct {
+	// ForkAB is the -fork-ab measurement (nil when skipped).
+	ForkAB *forkABResult `json:"fork_ab,omitempty"`
+	// Fork records what the snapshot-fork path did during the run.
+	Fork struct {
+		Forks             uint64 `json:"forks"`
+		PrefixBuilds      uint64 `json:"prefix_builds"`
+		PrefixEventsSaved uint64 `json:"prefix_events_saved"`
+		CowPagesCopied    uint64 `json:"cow_pages_copied"`
+	} `json:"fork"`
+	Totals struct {
 		WallSeconds   float64 `json:"wall_s"`
 		Worlds        uint64  `json:"worlds"`
 		WorldsPerSec  float64 `json:"worlds_per_s"`
@@ -82,6 +106,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	worldPool := flag.Bool("world-pool", true, "recycle simulation worlds between sweep points (A/B switch for the pool)")
+	fork := flag.Bool("fork", true, "fork sweep points from copy-on-write warm-up snapshots instead of replaying the prefix (A/B switch)")
+	forkAB := flag.Int("fork-ab", 0, "run an interleaved fork on/off A/B over this many prefix-heavy probe points (0 skips)")
 	benchJSON := flag.String("bench-json", "", "write machine-readable run metrics (per-figure wall clock, worlds/s, allocs/op) to this file")
 	benchInput := flag.String("bench-input", "", "`go test -bench -benchmem` output to fold into the -bench-json benchmarks section")
 	scaling := flag.Bool("scaling", true, "run the ring-size scaling sweep (events/s and worlds/s vs PE count)")
@@ -91,6 +117,7 @@ func main() {
 	flag.Parse()
 	bench.SetParallelism(*par)
 	bench.SetWorldPool(*worldPool)
+	bench.SetWorldFork(*fork)
 	sched, err := sim.ParseScheduler(*schedName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
@@ -165,10 +192,16 @@ func main() {
 	start := time.Now()
 	fmt.Printf("platform profile: PCIe Gen%d x%d, wire %.2f GB/s, DMA engine %.2f GB/s\n",
 		mp.Gen, mp.Lanes, mp.EffectiveWireBW()/1e9, mp.DMAEngineBW/1e9)
-	fmt.Printf("parallel runner: %d workers (independent worlds only; virtual time is unaffected), world pool %s, scheduler %s\n\n",
-		bench.Parallelism(), map[bool]string{true: "on", false: "off"}[bench.WorldPoolEnabled()], sched)
+	onOff := map[bool]string{true: "on", false: "off"}
+	fmt.Printf("parallel runner: %d workers (independent worlds only; virtual time is unaffected), world pool %s, snapshot fork %s, scheduler %s\n\n",
+		bench.Parallelism(), onOff[bench.WorldPoolEnabled()], onOff[bench.WorldForkEnabled()], sched)
 
-	report := benchReport{Parallelism: bench.Parallelism(), Scheduler: sched.String(), WorldPool: bench.WorldPoolEnabled()}
+	report := benchReport{
+		Parallelism: bench.Parallelism(),
+		Scheduler:   sched.String(),
+		WorldPool:   bench.WorldPoolEnabled(),
+		WorldFork:   bench.WorldForkEnabled(),
+	}
 
 	// timed produces one figure group, emits it, and reports the group's
 	// wall-clock cost so parallel-runner speedups are visible in the
@@ -218,6 +251,11 @@ func main() {
 		report.Scaling = runScaling(mp, pes, *scaleReps, sched)
 	}
 
+	if *forkAB > 0 {
+		report.ForkAB = runForkAB(mp, *forkAB)
+		bench.SetWorldFork(*fork) // the A/B toggles the switch; restore the run's setting
+	}
+
 	if bad := bench.CheckFig9Shapes(fig9); len(bad) != 0 {
 		fmt.Println("PAPER-SHAPE CHECKS FAILED:")
 		for _, b := range bad {
@@ -229,11 +267,18 @@ func main() {
 	elapsed := time.Since(start).Seconds()
 	worlds := bench.WorldsSimulated()
 	hits, misses := bench.WorldPoolStats()
+	forks, prefixBuilds, eventsSaved := bench.ForkStats()
 	fmt.Printf("simulated %d worlds in %.1f s (%.1f worlds/s, par=%d, pool %d hits / %d misses)\n",
 		worlds, elapsed, float64(worlds)/elapsed, bench.Parallelism(), hits, misses)
+	fmt.Printf("snapshot fork: %d forks from %d warm-up prefixes (%d virtual events skipped, %d CoW pages copied)\n",
+		forks, prefixBuilds, eventsSaved, bench.CowPagesCopied())
 	fmt.Println("(all reported numbers are virtual-time measurements; wall times above are host-side cost)")
 
 	if *benchJSON != "" {
+		report.Fork.Forks = forks
+		report.Fork.PrefixBuilds = prefixBuilds
+		report.Fork.PrefixEventsSaved = eventsSaved
+		report.Fork.CowPagesCopied = bench.CowPagesCopied()
 		report.Totals.WallSeconds = elapsed
 		report.Totals.Worlds = worlds
 		report.Totals.WorldsPerSec = float64(worlds) / elapsed
@@ -264,6 +309,51 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 	}
+}
+
+// runForkAB measures the headline claim of the snapshot-fork path: on a
+// prefix-heavy sweep (every point shares an expensive warm-up, bodies
+// diverge), forking the captured prefix beats replaying it. Modes are
+// interleaved rep by rep — off, on, off, on, … — so drift in machine
+// load lands on both sides, and each mode's worlds/s is summarized by
+// its median. All [fork-ab] lines are host-side wall clock; the probe's
+// virtual-time results are byte-identical between modes by construction
+// (TestForkMatchesReplay holds the equivalence).
+func runForkAB(mp *model.Params, points int) *forkABResult {
+	const reps = 5
+	const rounds, fill = 48, 65536
+	res := &forkABResult{Points: points, RepsPerMode: reps, PrefixRounds: rounds, PrefixFillBytes: fill}
+	fmt.Printf("[fork-ab] interleaved snapshot-fork A/B: %d probe points per rep (warm-up %d B fill × %d put rounds), %d reps per mode\n",
+		points, fill, rounds, reps)
+	idx := make([]int, points)
+	for i := range idx {
+		idx[i] = i
+	}
+	rep := func(on bool) float64 {
+		bench.SetWorldFork(on)
+		w0 := bench.WorldsSimulated()
+		t0 := time.Now()
+		bench.RunPoints(context.Background(), bench.Parallelism(), idx, func(pt int) int {
+			bench.ForkProbePoint(mp, 3, rounds, fill, pt)
+			return pt
+		})
+		wall := time.Since(t0).Seconds()
+		return float64(bench.WorldsSimulated()-w0) / wall
+	}
+	var off, on []float64
+	for r := 0; r < reps; r++ {
+		off = append(off, rep(false))
+		on = append(on, rep(true))
+		fmt.Printf("[fork-ab] rep %d: fork off %.1f worlds/s, fork on %.1f worlds/s\n", r+1, off[r], on[r])
+	}
+	sort.Float64s(off)
+	sort.Float64s(on)
+	res.MedianWorldsPerSecOff = off[len(off)/2]
+	res.MedianWorldsPerSecOn = on[len(on)/2]
+	res.Speedup = res.MedianWorldsPerSecOn / res.MedianWorldsPerSecOff
+	fmt.Printf("[fork-ab] median worlds/s: fork off %.1f, fork on %.1f — speedup %.2fx\n\n",
+		res.MedianWorldsPerSecOff, res.MedianWorldsPerSecOn, res.Speedup)
+	return res
 }
 
 // runScaling sweeps the scaling workload over the requested ring sizes

@@ -21,6 +21,12 @@ import (
 //	// reset: keep       — trailing a struct field: Reset intentionally
 //	                       leaves the field alone (identity, warm
 //	                       buffers, installed daemons).
+//	// snap: keep        — trailing a struct field: Snapshot intentionally
+//	                       omits the field (infrastructure that is
+//	                       identical in every quiescent world, or scratch
+//	                       that holds no simulation state). Combines with
+//	                       the reset annotation: `// reset: keep; snap:
+//	                       keep — reason`.
 const (
 	DirectiveOrdered   = "ordered"
 	DirectiveAllocOK   = "allocok"
@@ -95,12 +101,23 @@ func HasDirective(doc *ast.CommentGroup, directive string) bool {
 // fieldKept reports whether a struct field carries the `// reset: keep`
 // annotation, in either its doc comment or its trailing comment.
 func fieldKept(field *ast.Field) bool {
+	return fieldAnnotated(field, "reset: keep")
+}
+
+// fieldSnapKept reports whether a struct field carries the
+// `// snap: keep` annotation, in either its doc comment or its trailing
+// comment.
+func fieldSnapKept(field *ast.Field) bool {
+	return fieldAnnotated(field, "snap: keep")
+}
+
+func fieldAnnotated(field *ast.Field, marker string) bool {
 	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if cg == nil {
 			continue
 		}
 		for _, c := range cg.List {
-			if strings.Contains(c.Text, "reset: keep") {
+			if strings.Contains(c.Text, marker) {
 				return true
 			}
 		}

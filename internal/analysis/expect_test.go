@@ -92,6 +92,7 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 
 func TestSimdetFixture(t *testing.T)     { runFixture(t, Simdet, "simdet") }
 func TestResetcheckFixture(t *testing.T) { runFixture(t, Resetcheck, "resetcheck") }
+func TestSnapcheckFixture(t *testing.T)  { runFixture(t, Snapcheck, "snapcheck") }
 func TestAllocfreeFixture(t *testing.T)  { runFixture(t, Allocfree, "allocfree") }
 func TestParkcheckFixture(t *testing.T)  { runFixture(t, Parkcheck, "parkcheck") }
 

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// Snapcheck proves the snapshot/fork contract field by field, the
+// Snapshot-side sibling of resetcheck: for every struct type with a
+// niladic single-result Snapshot (or snapshot) method, each field must
+// be either read by Snapshot (captured into the snapshot value, asserted
+// quiescent, or handed to a helper), or explicitly annotated
+// `// snap: keep`. A field that is neither is the
+// add-a-field-forget-the-snapshot bug: a forked world would silently
+// resume with the pool world's value of that field instead of the
+// captured prefix's.
+//
+// Mention suffices — unlike Reset, Snapshot legitimately touches fields
+// in many shapes (copies them, asserts on them, passes them to sibling
+// capture helpers), and all of them require the author to have
+// considered the field. The analyzer's job is to force that
+// consideration, not to prove the capture is deep enough.
+var Snapcheck = &Analyzer{
+	Name: "snapcheck",
+	Doc: "every field of a type with a Snapshot method must be read by " +
+		"Snapshot or annotated `// snap: keep`",
+	Run: runSnapcheck,
+}
+
+// snapTarget is one struct type declaration plus its snapshot-family
+// methods and every other method (helpers reachable from Snapshot).
+type snapTarget struct {
+	name    string
+	decl    *ast.StructType
+	snaps   []*ast.FuncDecl          // methods named Snapshot or snapshot
+	methods map[string]*ast.FuncDecl // all methods, by name
+}
+
+func runSnapcheck(pass *Pass) {
+	targets := map[string]*snapTarget{}
+	get := func(name string) *snapTarget {
+		t := targets[name]
+		if t == nil {
+			t = &snapTarget{name: name, methods: map[string]*ast.FuncDecl{}}
+			targets[name] = t
+		}
+		return t
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						get(ts.Name.Name).decl = st
+					}
+				}
+			case *ast.FuncDecl:
+				recv := receiverTypeName(d)
+				if recv == "" {
+					continue
+				}
+				t := get(recv)
+				t.methods[d.Name.Name] = d
+				if (d.Name.Name == "Snapshot" || d.Name.Name == "snapshot") &&
+					d.Type.Params.NumFields() == 0 && d.Type.Results.NumFields() == 1 {
+					t.snaps = append(t.snaps, d)
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(targets))
+	for name := range targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := targets[name]
+		if t.decl == nil || len(t.snaps) == 0 {
+			continue
+		}
+		checkSnapTarget(pass, t)
+	}
+}
+
+func checkSnapTarget(pass *Pass, t *snapTarget) {
+	captured := map[string]bool{}
+	visited := map[string]bool{}
+	for _, snap := range t.snaps {
+		collectCaptured(t, snap, captured, visited)
+	}
+	for _, field := range t.decl.Fields.List {
+		if fieldSnapKept(field) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			if n := embeddedFieldName(field.Type); n != "" && !captured[n] {
+				pass.Reportf(field.Pos(),
+					"(*%s).Snapshot does not capture embedded field %s; read it or annotate `// snap: keep`",
+					t.name, n)
+			}
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name == "_" || captured[id.Name] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"(*%s).Snapshot does not capture field %s; read it or annotate `// snap: keep`",
+				t.name, id.Name)
+		}
+	}
+}
+
+// collectCaptured walks one snapshot-family method body recording every
+// receiver field it mentions (any expression path rooted at the
+// receiver), following calls to sibling methods on the same receiver
+// (r.helper()) transitively so capture logic may be factored out.
+func collectCaptured(t *snapTarget, fn *ast.FuncDecl, captured map[string]bool, visited map[string]bool) {
+	if visited[fn.Name.Name] || fn.Body == nil {
+		return
+	}
+	visited[fn.Name.Name] = true
+	recv := receiverIdentName(fn)
+	if recv == "" {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if f := rootField(recv, n); f != "" {
+				captured[f] = true
+			}
+		case *ast.CallExpr:
+			// r.helper(): follow sibling methods on the receiver.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
+					if sib := t.methods[sel.Sel.Name]; sib != nil {
+						collectCaptured(t, sib, captured, visited)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

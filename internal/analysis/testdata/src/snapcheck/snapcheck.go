@@ -1,0 +1,64 @@
+// Package snapcheck is the fixture for the snapcheck analyzer: a type
+// with a Snapshot method must account for every field — read it into the
+// snapshot, assert on it, hand it to a capture helper, or annotate it
+// `// snap: keep`. The dropped field below is the seeded omission the
+// analyzer must catch: a fork would resume with the recycled world's
+// value instead of the captured prefix's.
+package snapcheck
+
+type clockSnap struct {
+	now int64
+	seq uint64
+}
+
+type clock struct {
+	now     int64
+	seq     uint64
+	sched   string // snap: keep — construction-time identity, identical in every world
+	dropped bool   // want "does not capture field dropped"
+}
+
+func (c *clock) Snapshot() clockSnap {
+	return clockSnap{now: c.now, seq: c.seq}
+}
+
+// helperSnap delegates part of the capture to a sibling method, which
+// snapcheck follows; asserting on a field is also consideration enough.
+type helperSnap struct {
+	pages   [][]byte
+	written int
+	live    int
+}
+
+func (h *helperSnap) Snapshot() [][]byte {
+	h.assertIdle()
+	return h.capturePages()
+}
+
+func (h *helperSnap) assertIdle() {
+	if h.live != 0 {
+		panic("snapshot of a busy helperSnap")
+	}
+}
+
+func (h *helperSnap) capturePages() [][]byte {
+	out := make([][]byte, 0, h.written)
+	for _, p := range h.pages[:h.written] {
+		out = append(out, p)
+	}
+	return out
+}
+
+// noSnap has no Snapshot method: snapcheck must leave it alone even
+// though nothing reads its field.
+type noSnap struct {
+	ignored int
+}
+
+// taker has a Snapshot method with a parameter — not the niladic
+// capture-shape the contract covers, so its fields are exempt.
+type taker struct {
+	skipped int
+}
+
+func (t *taker) Snapshot(deep bool) int { return 0 }

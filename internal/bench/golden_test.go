@@ -65,29 +65,39 @@ func TestGoldenNumbers(t *testing.T) {
 // exact: the incremental flow solver, solve coalescing, and every other
 // hot-path rewrite must not move any virtual-time figure by even one
 // nanosecond. A mismatch prints a line-level diff of the first divergent
-// figure.
+// figure. The sweep runs once per snapshot-fork mode: the fork path must
+// reproduce the replay path's archived bytes, not merely its own.
 func TestGoldenCSVs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden CSV sweep in -short mode")
 	}
-	par := model.Default()
-	var figs []*Figure
-	figs = append(figs, RunFig8(par)...)
-	figs = append(figs, RunFig9(par)...)
-	figs = append(figs, RunAblationPipeline(par))
-	for _, f := range figs {
-		name := CSVFileName(f.ID)
-		want, err := os.ReadFile(filepath.Join("..", "..", "results", name))
-		if err != nil {
-			t.Errorf("%s: no archived golden: %v", f.ID, err)
-			continue
-		}
-		got := f.CSV()
-		if got == string(want) {
-			continue
-		}
-		t.Errorf("%s: regenerated CSV differs from results/%s:\n%s",
-			f.ID, name, firstDiff(string(want), got))
+	wasOn := WorldForkEnabled()
+	defer SetWorldFork(wasOn)
+	for _, forkOn := range []bool{false, true} {
+		t.Run(map[bool]string{false: "replay", true: "fork"}[forkOn], func(t *testing.T) {
+			SetWorldFork(forkOn)
+			DrainWorldPool()
+			DrainSnapshots()
+			par := model.Default()
+			var figs []*Figure
+			figs = append(figs, RunFig8(par)...)
+			figs = append(figs, RunFig9(par)...)
+			figs = append(figs, RunAblationPipeline(par))
+			for _, f := range figs {
+				name := CSVFileName(f.ID)
+				want, err := os.ReadFile(filepath.Join("..", "..", "results", name))
+				if err != nil {
+					t.Errorf("%s: no archived golden: %v", f.ID, err)
+					continue
+				}
+				got := f.CSV()
+				if got == string(want) {
+					continue
+				}
+				t.Errorf("%s: regenerated CSV differs from results/%s:\n%s",
+					f.ID, name, firstDiff(string(want), got))
+			}
+		})
 	}
 }
 

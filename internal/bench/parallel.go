@@ -216,15 +216,50 @@ func runPointsCost[T, R any](points []T, cost func(i int, pt T) float64, fn func
 // (measurement harnesses have no recovery story) and counts the world
 // for the throughput summary.
 func runRingWorld(label string, par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) {
+	runRingWorldPrefixed(label, par, n, opts, initPrefixKey, 0, nil, body)
+}
+
+// runRingWorldPrefixed drives prefix-then-body on an n-host ring world.
+// With forking enabled (the default) the prefix — implicitly including
+// shmem_init — is simulated once per (shape, prefixKey, seed) and every
+// further point forks the captured snapshot, running only body; with it
+// disabled the whole prefix replays from t=0 per point, which is the
+// PR 3 behaviour and the A/B baseline. A nil prefix means the bare
+// shmem_init warm-up. prefixKey with seed must uniquely name what
+// prefix simulates; two different prefix closures must never share a
+// key for the same shape.
+func runRingWorldPrefixed(label string, par *model.Params, n int, opts core.Options, prefixKey string, seed int64, prefix, body func(p *sim.Proc, pe *core.PE)) {
+	if forkOn.Load() {
+		runForked(label, par, n, opts, prefixKey, seed, prefix, body)
+		return
+	}
+	combined := body
+	if prefix != nil {
+		combined = func(p *sim.Proc, pe *core.PE) {
+			prefix(p, pe)
+			body(p, pe)
+		}
+	}
+	runRingWorldReplay(label, par, n, opts, combined)
+}
+
+// buildRingWorld constructs a fresh n-host ring world, panicking with
+// the point label on topology errors.
+func buildRingWorld(label string, par *model.Params, n int, opts core.Options) *core.World {
+	s := sim.New()
+	c, err := fabric.NewRing(s, par, n)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", label, err))
+	}
+	return core.NewWorld(c, opts)
+}
+
+// runRingWorldReplay is the no-fork path: simulate everything from t=0.
+func runRingWorldReplay(label string, par *model.Params, n int, opts core.Options, body func(p *sim.Proc, pe *core.PE)) {
 	worldCount.Add(1)
 	w, poolable := checkoutWorld(par, n, opts)
 	if w == nil {
-		s := sim.New()
-		c, err := fabric.NewRing(s, par, n)
-		if err != nil {
-			panic(fmt.Sprintf("bench: %s: %v", label, err))
-		}
-		w = core.NewWorld(c, opts)
+		w = buildRingWorld(label, par, n, opts)
 	}
 	err := w.RunKeep(body)
 	worldEvents.Add(w.Cluster.Sim.EventsExecuted())

@@ -112,6 +112,10 @@ func TestFig10DeterministicAcrossParallelism(t *testing.T) {
 }
 
 func TestWorldCountAdvances(t *testing.T) {
+	// Replay path: one point, one world. (The fork path may add a second
+	// world for a cold prefix capture; its accounting has its own tests.)
+	SetWorldFork(false)
+	defer SetWorldFork(true)
 	before := WorldsSimulated()
 	MeasureBarrierLatency(model.Default(), 0, 2, 1)
 	if after := WorldsSimulated(); after != before+1 {

@@ -31,6 +31,11 @@ func TestWorldPoolRecyclesAndMatchesFresh(t *testing.T) {
 	if !WorldPoolEnabled() {
 		t.Fatal("world pool should be enabled by default")
 	}
+	// Pin the replay path: this test asserts the pool's own hit/miss
+	// accounting, which the fork path overlays with prefix-build traffic
+	// (covered by the fork cache tests).
+	SetWorldFork(false)
+	defer SetWorldFork(true)
 	DrainWorldPool()
 	par := model.Default()
 
@@ -63,6 +68,8 @@ func TestWorldPoolRecyclesAndMatchesFresh(t *testing.T) {
 }
 
 func TestWorldPoolDetectsMutatedParams(t *testing.T) {
+	SetWorldFork(false)
+	defer SetWorldFork(true)
 	DrainWorldPool()
 	par := model.Default().Clone()
 	runTinyWorld(par, core.Options{})

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Fork-equivalence property tests: a world forked from a snapshot must
+// execute the snapshot's future bit-identically to the captured world
+// continuing in place — which, since the captured world ran its prefix
+// from t=0, makes the fork byte-identical to a fresh world running
+// prefix-then-body from t=0 with the same seed. The bench prefix cache
+// forks sweep points on the strength of this property.
+
+// traceRunForked is traceRun for the post-fork phase: body runs without
+// the shmem_init prefix (the forked state already contains it).
+func traceRunForked(t *testing.T, w *World, body func(p *sim.Proc, pe *PE)) ([]OpEvent, sim.Time, Stats) {
+	t.Helper()
+	var trace []OpEvent
+	w.SetOpTrace(func(ev OpEvent) { trace = append(trace, ev) })
+	if err := w.RunKeepForked(body); err != nil {
+		t.Fatal(err)
+	}
+	w.SetOpTrace(nil)
+	return trace, w.Cluster.Sim.Now(), w.PEs()[0].Stats()
+}
+
+// compareTraces fails the test on the first diverging event.
+func compareTraces(t *testing.T, label string, got, want []OpEvent) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: trace length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: trace diverges at event %d:\n  fork: %+v\n  ref:  %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestForkEquivalentToFreshRun(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"pipelined-shortest", Options{Pipeline: 4, Routing: RouteShortest}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prefix := resetScript(23, 3, 6)
+			body := resetScript(61, 2, 5)
+
+			// Reference: a fresh world runs prefix from t=0, then continues
+			// with body on the same timeline — the ground truth a forked
+			// child claims to reproduce.
+			ref := newWorld(4, tc.opts)
+			traceRun(t, ref, prefix)
+			snap := ref.Snapshot()
+			refEvents := ref.Cluster.Sim.EventsExecuted()
+			wantTrace, wantEnd, wantStats := traceRunForked(t, ref, body)
+			bodyEvents := ref.Cluster.Sim.EventsExecuted() - refEvents
+			ref.Cluster.Sim.Shutdown()
+
+			if snap.Events() != refEvents {
+				t.Errorf("snapshot records %d prefix events, prefix executed %d", snap.Events(), refEvents)
+			}
+
+			// Forked child: fresh world, no prefix replay.
+			child := newWorld(4, tc.opts)
+			child.Fork(snap)
+			if now := child.Cluster.Sim.Now(); now != snap.Time() {
+				t.Fatalf("forked world starts at t=%v, snapshot taken at %v", now, snap.Time())
+			}
+			gotTrace, gotEnd, gotStats := traceRunForked(t, child, body)
+			if got := child.Cluster.Sim.EventsExecuted(); got != bodyEvents {
+				t.Errorf("forked body executed %d virtual events, continuation executed %d", got, bodyEvents)
+			}
+			child.Cluster.Sim.Shutdown()
+
+			if gotEnd != wantEnd {
+				t.Errorf("completion time: fork %v, continuation %v", gotEnd, wantEnd)
+			}
+			if gotStats != wantStats {
+				t.Errorf("pe 0 stats: fork %+v, continuation %+v", gotStats, wantStats)
+			}
+			compareTraces(t, "fork vs continuation", gotTrace, wantTrace)
+		})
+	}
+}
+
+func TestForkManyChildrenDiverge(t *testing.T) {
+	// Several children forked from one snapshot run different futures;
+	// each must match its own continuation reference, and later forks
+	// must not see earlier children's writes (CoW isolation).
+	prefix := resetScript(5, 2, 6)
+	futures := []func(p *sim.Proc, pe *PE){
+		resetScript(100, 2, 4),
+		resetScript(200, 1, 9),
+		resetScript(300, 3, 3),
+	}
+
+	parent := newWorld(3, Options{})
+	traceRun(t, parent, prefix)
+	snap := parent.Snapshot()
+	parent.Cluster.Sim.Shutdown()
+
+	type result struct {
+		trace []OpEvent
+		end   sim.Time
+		stats Stats
+	}
+	want := make([]result, len(futures))
+	for i, fut := range futures {
+		// Reference for each future: fresh world, prefix then future.
+		ref := newWorld(3, Options{})
+		traceRun(t, ref, prefix)
+		trace, end, stats := traceRunForked(t, ref, fut)
+		ref.Cluster.Sim.Shutdown()
+		want[i] = result{trace, end, stats}
+	}
+	for i, fut := range futures {
+		child := newWorld(3, Options{})
+		child.Fork(snap)
+		trace, end, stats := traceRunForked(t, child, fut)
+		child.Cluster.Sim.Shutdown()
+		if end != want[i].end || stats != want[i].stats {
+			t.Errorf("future %d: end %v stats %+v, want %v %+v", i, end, stats, want[i].end, want[i].stats)
+		}
+		compareTraces(t, "divergent future", trace, want[i].trace)
+	}
+}
+
+func TestForkAfterFork(t *testing.T) {
+	// Snapshot a forked world mid-flight and fork again: the grandchild
+	// must match the child's continuation exactly.
+	prefix := resetScript(11, 2, 5)
+	mid := resetScript(12, 2, 5)
+	body := resetScript(13, 2, 5)
+
+	parent := newWorld(3, Options{})
+	traceRun(t, parent, prefix)
+	snap1 := parent.Snapshot()
+	parent.Cluster.Sim.Shutdown()
+
+	child := newWorld(3, Options{})
+	child.Fork(snap1)
+	traceRunForked(t, child, mid)
+	snap2 := child.Snapshot()
+	wantTrace, wantEnd, wantStats := traceRunForked(t, child, body)
+	child.Cluster.Sim.Shutdown()
+
+	grand := newWorld(3, Options{})
+	grand.Fork(snap2)
+	gotTrace, gotEnd, gotStats := traceRunForked(t, grand, body)
+	grand.Cluster.Sim.Shutdown()
+
+	if gotEnd != wantEnd || gotStats != wantStats {
+		t.Errorf("grandchild end %v stats %+v, child continuation %v %+v", gotEnd, gotStats, wantEnd, wantStats)
+	}
+	compareTraces(t, "fork-after-fork", gotTrace, wantTrace)
+}
+
+func TestForkThenReset(t *testing.T) {
+	// A forked world must remain poolable: Reset returns it to t=0 and a
+	// subsequent from-scratch run matches a fresh world byte-for-byte.
+	prefix := resetScript(31, 2, 6)
+	body := resetScript(32, 1, 6)
+	replay := resetScript(33, 3, 4)
+
+	parent := newWorld(3, Options{})
+	traceRun(t, parent, prefix)
+	snap := parent.Snapshot()
+	parent.Cluster.Sim.Shutdown()
+
+	w := newWorld(3, Options{})
+	w.Fork(snap)
+	traceRunForked(t, w, body)
+	w.Reset()
+	if now := w.Cluster.Sim.Now(); now != 0 {
+		t.Fatalf("reset-after-fork world starts at t=%v, want 0", now)
+	}
+	gotTrace, gotEnd, gotStats := traceRun(t, w, replay)
+	w.Cluster.Sim.Shutdown()
+
+	fresh := newWorld(3, Options{})
+	wantTrace, wantEnd, wantStats := traceRun(t, fresh, replay)
+	fresh.Cluster.Sim.Shutdown()
+
+	if gotEnd != wantEnd || gotStats != wantStats {
+		t.Errorf("reset-after-fork end %v stats %+v, fresh %v %+v", gotEnd, gotStats, wantEnd, wantStats)
+	}
+	compareTraces(t, "fork-then-reset replay", gotTrace, wantTrace)
+}
+
+func TestForkIntoRecycledWorld(t *testing.T) {
+	// The bench pool forks into recycled worlds, not fresh ones; a world
+	// that already lived a different life must fork identically to a
+	// fresh child.
+	prefix := resetScript(41, 2, 6)
+	body := resetScript(42, 2, 4)
+	otherLife := resetScript(43, 3, 7)
+
+	parent := newWorld(3, Options{})
+	traceRun(t, parent, prefix)
+	snap := parent.Snapshot()
+	parent.Cluster.Sim.Shutdown()
+
+	fresh := newWorld(3, Options{})
+	fresh.Fork(snap)
+	wantTrace, wantEnd, wantStats := traceRunForked(t, fresh, body)
+	fresh.Cluster.Sim.Shutdown()
+
+	recycled := newWorld(3, Options{})
+	traceRun(t, recycled, otherLife)
+	recycled.Reset()
+	recycled.Fork(snap)
+	gotTrace, gotEnd, gotStats := traceRunForked(t, recycled, body)
+	recycled.Cluster.Sim.Shutdown()
+
+	if gotEnd != wantEnd || gotStats != wantStats {
+		t.Errorf("recycled fork end %v stats %+v, fresh fork %v %+v", gotEnd, gotStats, wantEnd, wantStats)
+	}
+	compareTraces(t, "fork into recycled world", gotTrace, wantTrace)
+}
+
+func TestForkShapeAsserts(t *testing.T) {
+	parent := newWorld(3, Options{})
+	traceRun(t, parent, resetScript(51, 1, 3))
+	snap := parent.Snapshot()
+	parent.Cluster.Sim.Shutdown()
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	w4 := newWorld(4, Options{})
+	defer w4.Cluster.Sim.Shutdown()
+	mustPanic("PE-count mismatch", func() { w4.Fork(snap) })
+
+	wOpts := newWorld(3, Options{Pipeline: 4, Routing: RouteShortest})
+	defer wOpts.Cluster.Sim.Shutdown()
+	mustPanic("options mismatch", func() { wOpts.Fork(snap) })
+}

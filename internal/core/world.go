@@ -128,10 +128,10 @@ type OpEvent struct {
 // World is one OpenSHMEM job running on a ring cluster.
 type World struct {
 	Cluster *fabric.Cluster
-	par     *model.Params // reset: keep — construction identity
+	par     *model.Params // reset: keep; snap: keep — construction identity
 	opts    Options       // reset: keep — construction identity
 	pes     []*PE
-	opTrace func(OpEvent) // reset: keep — installed hooks survive recycling
+	opTrace func(OpEvent) // reset: keep; snap: keep — installed hooks survive recycling and forking
 }
 
 // SetOpTrace installs a hook receiving one event per completed
@@ -154,10 +154,10 @@ func (pe *PE) emitOp(p *sim.Proc, op string, target, bytes int, start sim.Time) 
 // host's OpenSHMEM runtime state.
 type PE struct {
 	id    int
-	world *World        // reset: keep — construction identity
+	world *World        // reset: keep; snap: keep — construction identity
 	host  *fabric.Host  // reset: keep — construction identity
-	par   *model.Params // reset: keep — construction identity
-	mode  driver.Mode   // reset: keep — construction identity
+	par   *model.Params // reset: keep; snap: keep — construction identity
+	mode  driver.Mode   // reset: keep; snap: keep — construction identity
 
 	heap      *mem.Heap
 	finalized bool
@@ -165,11 +165,11 @@ type PE struct {
 	// Service path (Fig 5).
 	svcQ      *sim.Queue[*ntb.Port]
 	svcActive bool      // reset: keep — reset() panics unless false (service drained)
-	svcIdle   *sim.Cond // reset: keep — no waiters survive a clean run
+	svcIdle   *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
 	fwdQ      *sim.Queue[*fwdMsg]
 	fwdBusy   int       // reset: keep — reset() panics unless zero
-	fwdIdle   *sim.Cond // reset: keep — no waiters survive a clean run
-	bufPool   [][]byte  // reset: keep — warm staging buffers are the point of pooling
+	fwdIdle   *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
+	bufPool   [][]byte  // reset: keep; snap: keep — warm staging buffers hold no simulation state
 
 	// Link senders: the paper's stop-and-wait TxChannels or pipelined
 	// PipeTx, per Options.Pipeline; rx state exists only when pipelined.
@@ -186,7 +186,7 @@ type PE struct {
 	// created on first token; most PEs of a ring-barrier world never
 	// see one, and a 1k-PE world must not pay 1k empty maps).
 	ctl     map[uint32]int
-	ctlCond *sim.Cond // reset: keep — no waiters survive a clean run
+	ctlCond *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
 
 	// Pending get/AMO requests by tag (lazily created on first request).
 	pending map[uint32]*pendingReq
@@ -207,10 +207,10 @@ type PE struct {
 
 	// Non-blocking operation tracking for Quiet.
 	outstanding int
-	quietCond   *sim.Cond // reset: keep — no waiters survive a clean run
+	quietCond   *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
 
 	// Signalled whenever remote traffic writes this PE's heap.
-	heapWrite *sim.Cond // reset: keep — no waiters survive a clean run
+	heapWrite *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
 
 	stats Stats
 }
@@ -409,18 +409,7 @@ func (w *World) Reset() {
 // un-drained service work mean the previous run did not complete cleanly
 // and the world must be discarded instead of pooled.
 func (pe *PE) reset() {
-	if pe.svcActive || pe.svcQ.Len() != 0 || pe.fwdBusy != 0 || pe.fwdQ.Len() != 0 {
-		panic(fmt.Sprintf("core: reset of pe %d with service work outstanding", pe.id))
-	}
-	if n := pe.startQ.Len() + pe.endQ.Len() + pe.startQL.Len() + pe.endQL.Len(); n != 0 {
-		panic(fmt.Sprintf("core: reset of pe %d with %d barrier token(s) queued", pe.id, n))
-	}
-	if len(pe.pending) != 0 {
-		panic(fmt.Sprintf("core: reset of pe %d with %d pending request(s)", pe.id, len(pe.pending)))
-	}
-	if pe.outstanding != 0 {
-		panic(fmt.Sprintf("core: reset of pe %d with %d non-blocking op(s) outstanding", pe.id, pe.outstanding))
-	}
+	pe.assertQuiescent("reset")
 	pe.heap.Reset()
 	pe.finalized = false
 	pe.barrierEpoch = 0

@@ -256,10 +256,10 @@ type Payload struct {
 // service thread) must take strict turns; the channel provides that.
 type TxChannel struct {
 	ep      *Endpoint
-	par     *model.Params        // reset: keep — construction identity
-	mu      *sim.Mutex           // reset: keep — released after every send
+	par     *model.Params        // reset: keep; snap: keep — construction identity
+	mu      *sim.Mutex           // reset: keep; snap: keep — released after every send
 	acks    *sim.Queue[struct{}] // Reset asserts it drained
-	scratch []byte               // reset: keep — warm staging buffer, overwritten per send
+	scratch []byte               // reset: keep; snap: keep — warm staging buffer, overwritten per send
 	sends   uint64
 }
 

@@ -106,14 +106,14 @@ func decodeSlotHeader(src []byte) (seq uint32, info Info, ok bool) {
 // protocol.
 type PipeTx struct {
 	ep        *Endpoint
-	par       *model.Params // reset: keep — construction identity
-	slots     int           // reset: keep — pipeline geometry
-	slotBytes int           // reset: keep — pipeline geometry
+	par       *model.Params // reset: keep; snap: keep — construction identity
+	slots     int           // reset: keep; snap: keep — pipeline geometry
+	slotBytes int           // reset: keep; snap: keep — pipeline geometry
 	credits   *sim.Resource // Reset asserts all returned
-	mu        *sim.Mutex    // reset: keep — serialises slot assignment; released per send
+	mu        *sim.Mutex    // reset: keep; snap: keep — serialises slot assignment; released per send
 	nextSlot  int
 	seq       uint32
-	scratch   []byte // reset: keep — warm staging frame, overwritten per send
+	scratch   []byte // reset: keep; snap: keep — warm staging frame, overwritten per send
 	sends     uint64
 }
 
@@ -206,9 +206,9 @@ func (tx *PipeTx) SendChunk(p *sim.Proc, info Info, payload Payload, mode Mode) 
 
 // PipeRx is the receiver half: it drains valid slots in sequence order.
 type PipeRx struct {
-	port      *ntb.Port // reset: keep — construction identity
-	slots     int       // reset: keep — pipeline geometry
-	slotBytes int       // reset: keep — pipeline geometry
+	port      *ntb.Port // reset: keep; snap: keep — construction identity
+	slots     int       // reset: keep; snap: keep — pipeline geometry
+	slotBytes int       // reset: keep; snap: keep — pipeline geometry
 	expect    uint32
 }
 

@@ -1,0 +1,73 @@
+package driver
+
+import "fmt"
+
+// Channel snapshots. Each capture asserts the same quiescence its Reset
+// does (no ACKs queued, no credits outstanding) and records the handful
+// of per-run counters a forked world must continue from: send tallies
+// for the stop-and-wait channel, and the slot cursor / wire sequence /
+// expected sequence for the pipelined pair — the slot contents
+// themselves live in the NTB windows and are restored with them.
+
+// TxSnapshot captures a stop-and-wait channel's per-run state.
+type TxSnapshot struct {
+	sends uint64
+}
+
+// Snapshot captures the channel state; the ACK queue must be drained.
+func (tx *TxChannel) Snapshot() TxSnapshot {
+	if n := tx.acks.Len(); n != 0 {
+		panic(fmt.Sprintf("driver: snapshot of tx %s with %d unconsumed ACK(s)", tx.ep.Port.Name(), n))
+	}
+	return TxSnapshot{sends: tx.sends}
+}
+
+// Restore applies a snapshot to a freshly Reset channel.
+func (tx *TxChannel) Restore(s TxSnapshot) {
+	if n := tx.acks.Len(); n != 0 {
+		panic(fmt.Sprintf("driver: restore of tx %s with %d unconsumed ACK(s)", tx.ep.Port.Name(), n))
+	}
+	tx.sends = s.sends
+}
+
+// PipeTxSnapshot captures a pipelined sender's cursor and counters.
+type PipeTxSnapshot struct {
+	nextSlot int
+	seq      uint32
+	sends    uint64
+}
+
+// Snapshot captures the sender state; every credit must be free, i.e.
+// all in-flight slots ACKed.
+func (tx *PipeTx) Snapshot() PipeTxSnapshot {
+	if free := tx.credits.Free(); free != tx.credits.Capacity() {
+		panic(fmt.Sprintf("driver: snapshot of pipe-tx %s with %d credit(s) outstanding",
+			tx.ep.Port.Name(), tx.credits.Capacity()-free))
+	}
+	return PipeTxSnapshot{nextSlot: tx.nextSlot, seq: tx.seq, sends: tx.sends}
+}
+
+// Restore applies a snapshot to a freshly Reset sender. The wire
+// sequence must continue from the captured value or the receiver —
+// whose slot headers are restored with the NTB window contents — would
+// discard every subsequent message as stale.
+func (tx *PipeTx) Restore(s PipeTxSnapshot) {
+	if free := tx.credits.Free(); free != tx.credits.Capacity() {
+		panic(fmt.Sprintf("driver: restore of pipe-tx %s with %d credit(s) outstanding",
+			tx.ep.Port.Name(), tx.credits.Capacity()-free))
+	}
+	tx.nextSlot = s.nextSlot
+	tx.seq = s.seq
+	tx.sends = s.sends
+}
+
+// PipeRxSnapshot captures a pipelined receiver's in-order cursor.
+type PipeRxSnapshot struct {
+	expect uint32
+}
+
+// Snapshot captures the receiver state.
+func (rx *PipeRx) Snapshot() PipeRxSnapshot { return PipeRxSnapshot{expect: rx.expect} }
+
+// Restore applies a snapshot to a freshly Reset receiver.
+func (rx *PipeRx) Restore(s PipeRxSnapshot) { rx.expect = s.expect }

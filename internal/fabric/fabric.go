@@ -32,7 +32,7 @@ type Host struct {
 // platform profile.
 type Cluster struct {
 	Sim   *sim.Simulator
-	Par   *model.Params // reset: keep — construction identity
+	Par   *model.Params // reset: keep; snap: keep — construction identity
 	Net   *pcie.Network
 	Hosts []*Host
 	ring  bool // reset: keep — topology identity

@@ -1,0 +1,81 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/ntb"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// ClusterSnapshot is a frozen image of a quiescent cluster's device
+// state: the kernel clock plus, per host, both NTB port images and both
+// stop-and-wait channel counters. Pipelined channel state is owned by
+// the core layer (which installed the pipes) and snapshotted there.
+type ClusterSnapshot struct {
+	n    int
+	ring bool
+	sim  sim.Snapshot
+	net  pcie.NetSnapshot
+	// Per-host device images; entries are nil/zero when the side is not
+	// cabled, mirroring Host.
+	left, right []*ntb.PortSnapshot
+	txL, txR    []driver.TxSnapshot
+}
+
+// Time returns the virtual time the snapshot was captured at.
+func (s *ClusterSnapshot) Time() sim.Time { return s.sim.Now() }
+
+// Snapshot captures a quiescent cluster: the simulator must satisfy the
+// Reset preconditions (no pending events, only parked daemons), the flow
+// network must be idle, every DMA engine drained, every stop-and-wait
+// ACK consumed.
+func (c *Cluster) Snapshot() *ClusterSnapshot {
+	s := &ClusterSnapshot{
+		n:     c.N(),
+		ring:  c.ring,
+		sim:   c.Sim.Snapshot(),
+		net:   c.Net.Snapshot(),
+		left:  make([]*ntb.PortSnapshot, c.N()),
+		right: make([]*ntb.PortSnapshot, c.N()),
+		txL:   make([]driver.TxSnapshot, c.N()),
+		txR:   make([]driver.TxSnapshot, c.N()),
+	}
+	for i, h := range c.Hosts {
+		if h.Left != nil {
+			s.left[i] = h.Left.Snapshot()
+			s.txL[i] = h.TxLeft.Snapshot()
+		}
+		if h.Right != nil {
+			s.right[i] = h.Right.Snapshot()
+			s.txR[i] = h.TxRight.Snapshot()
+		}
+	}
+	return s
+}
+
+// Restore applies a snapshot to a freshly Reset cluster of identical
+// topology, leaving it positioned at the captured virtual time with
+// every device register and window extent as captured.
+func (c *Cluster) Restore(s *ClusterSnapshot) {
+	if c.N() != s.n || c.ring != s.ring {
+		panic(fmt.Sprintf("fabric: restore of a %d-host (ring=%v) cluster from a %d-host (ring=%v) snapshot",
+			c.N(), c.ring, s.n, s.ring))
+	}
+	for i, h := range c.Hosts {
+		if (h.Left != nil) != (s.left[i] != nil) || (h.Right != nil) != (s.right[i] != nil) {
+			panic(fmt.Sprintf("fabric: restore of host %d with mismatched cabling", i))
+		}
+		if h.Left != nil {
+			h.Left.Restore(s.left[i])
+			h.TxLeft.Restore(s.txL[i])
+		}
+		if h.Right != nil {
+			h.Right.Restore(s.right[i])
+			h.TxRight.Restore(s.txR[i])
+		}
+	}
+	c.Net.Restore(s.net)
+	c.Sim.Restore(s.sim)
+}

@@ -41,7 +41,7 @@ type block struct {
 // serialised by the simulation kernel.
 type Heap struct {
 	chunkSize int64 // reset: keep — construction geometry
-	maxSize   int64 // reset: keep — construction geometry
+	maxSize   int64 // reset: keep; snap: keep — construction geometry
 	chunks    [][]byte
 	blocks    []block // sorted by offset, covering [0, len(chunks)*chunkSize)
 	live      int     // number of live allocations
@@ -53,6 +53,15 @@ type Heap struct {
 	// so Reset can restore the fresh-heap all-zero guarantee by clearing
 	// only [0, written) instead of the whole grown extent.
 	written int64
+
+	// shared flags chunks that alias a HeapSnapshot's frozen pages (one
+	// flag per chunk; nil until the heap first meets a snapshot). Shared
+	// chunks are immutable: writers privatize them first (see
+	// snapshot.go), and Reset detaches them instead of clearing.
+	shared []bool
+	// spare pools all-zero chunks displaced by Fork, recycled by
+	// privatize and Reset's detach path. snap: keep — scratch pool.
+	spare [][]byte // reset: keep — refilled/drained by fork cycles
 }
 
 // NewHeap returns an empty heap that grows in chunkSize steps up to
@@ -85,6 +94,9 @@ func (h *Heap) grow() error {
 	}
 	start := h.Size()
 	h.chunks = append(h.chunks, make([]byte, h.chunkSize))
+	if h.shared != nil {
+		h.shared = append(h.shared, false)
+	}
 	if n := len(h.blocks); n > 0 && h.blocks[n-1].free {
 		h.blocks[n-1].size += h.chunkSize
 		return nil
@@ -276,6 +288,7 @@ func (h *Heap) checkRange(off int64, n int) {
 // the slices alias heap storage, so the range is conservatively recorded
 // as written (use Read for a non-marking copy).
 func (h *Heap) Segments(off int64, n int, fn func(seg []byte)) {
+	h.ensurePrivate(off, n)
 	h.markWritten(off, n)
 	h.segments(off, n, fn)
 }
@@ -303,6 +316,7 @@ func (h *Heap) segments(off int64, n int, fn func(seg []byte)) {
 
 // Write copies data into the heap at virtual offset off.
 func (h *Heap) Write(off int64, data []byte) {
+	h.ensurePrivate(off, len(data))
 	h.markWritten(off, len(data))
 	h.segments(off, len(data), func(seg []byte) {
 		copy(seg, data[:len(seg)])
@@ -333,7 +347,15 @@ func (h *Heap) Reset() {
 		if remaining < n {
 			n = remaining
 		}
-		clear(chunk[:n])
+		if h.shared != nil && h.shared[ci] {
+			// The chunk belongs to a snapshot: detach it (swap in a zero
+			// page) rather than clearing the frozen contents out from
+			// under the snapshot's other forks.
+			h.chunks[ci] = h.takeSpare()
+			h.shared[ci] = false
+		} else {
+			clear(chunk[:n])
+		}
 		remaining -= n
 	}
 	h.written = 0

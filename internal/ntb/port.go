@@ -68,23 +68,23 @@ func (r Region) String() string {
 // (left and right adapters). All methods taking a *sim.Proc block that
 // process for the modelled duration of the operation.
 type Port struct {
-	name string         // reset: keep — identity
-	par  *model.Params  // reset: keep — construction identity
-	sim  *sim.Simulator // reset: keep — construction identity
-	net  *pcie.Network  // reset: keep — construction identity
+	name string         // reset: keep; snap: keep — identity
+	par  *model.Params  // reset: keep; snap: keep — construction identity
+	sim  *sim.Simulator // reset: keep; snap: keep — construction identity
+	net  *pcie.Network  // reset: keep; snap: keep — construction identity
 
-	peer     *Port        // reset: keep — cabling survives recycling
-	wire     *pcie.Server // reset: keep — interned flow-network server
-	localRC  *pcie.Server // reset: keep — interned flow-network server
-	route    *pcie.Route  // reset: keep — interned path to the peer, built at Connect
-	linkDown *bool        // reset: keep — shared cable state, re-armed by CutCable/Heal
+	peer     *Port        // reset: keep; snap: keep — cabling survives recycling
+	wire     *pcie.Server // reset: keep; snap: keep — interned flow-network server
+	localRC  *pcie.Server // reset: keep; snap: keep — interned flow-network server
+	route    *pcie.Route  // reset: keep; snap: keep — interned path to the peer, built at Connect
+	linkDown *bool        // reset: keep; snap: keep — shared cable state; snapshots require healthy links
 
-	engineBW float64 // reset: keep — this adapter's DMA engine rate (chipset-dependent)
+	engineBW float64 // reset: keep; snap: keep — this adapter's DMA engine rate (chipset-dependent)
 
 	spads  []uint32
 	db     uint16
 	dbMask uint16
-	isr    func(bits uint16) // reset: keep — registered handler survives, like a driver's ISR
+	isr    func(bits uint16) // reset: keep; snap: keep — registered handler survives, like a driver's ISR
 
 	inbound [numRegions][]byte
 	// winDirty brackets the bytes of each inbound window that writes may
@@ -99,12 +99,12 @@ type Port struct {
 	// Requester-ID lookup table (the paper's "LUT entry mapping for NTB
 	// device identification"): when enforced, inbound window
 	// transactions are accepted only from registered requester IDs.
-	reqID       uint16          // reset: keep — assigned identity, reused at re-boot
-	lut         map[uint16]bool // reset: keep — boot reprograms the same entries (see Reset doc)
-	lutEnforced bool            // reset: keep — see Reset doc: an enforced LUT admits what boot admits
+	reqID       uint16          // reset: keep; snap: keep — assigned identity, reused at re-boot
+	lut         map[uint16]bool // reset: keep; snap: keep — boot reprograms the same entries (see Reset doc)
+	lutEnforced bool            // reset: keep; snap: keep — see Reset doc: an enforced LUT admits what boot admits
 
 	dma   *Engine
-	trace TraceFunc // reset: keep — installed trace hook survives recycling
+	trace TraceFunc // reset: keep; snap: keep — installed trace hook survives recycling
 }
 
 // NewPort creates an unconnected port. localRC is the owning host's root
@@ -580,8 +580,14 @@ func (e *Engine) Pending() int { return e.busy }
 // reset asserts the engine is idle — a wedged or mid-descriptor engine
 // cannot be pooled — and keeps the warm job pool for the next run.
 func (e *Engine) reset() {
+	e.assertIdle("reset")
+}
+
+// assertIdle panics unless the engine has no descriptors queued or in
+// flight; shared by reset and the port snapshot/restore paths.
+func (e *Engine) assertIdle(op string) {
 	if e.busy != 0 || e.queue.Len() != 0 {
-		panic(fmt.Sprintf("ntb: reset of %s with %d descriptor(s) outstanding", e.port.name, e.busy))
+		panic(fmt.Sprintf("ntb: %s of %s with %d descriptor(s) outstanding", op, e.port.name, e.busy))
 	}
 }
 

@@ -130,20 +130,20 @@ func (t *Transfer) Done() bool { return t.done.Done() }
 
 // Network is the fluid-flow solver bound to one simulator.
 type Network struct {
-	sim   *sim.Simulator // reset: keep — construction identity
+	sim   *sim.Simulator // reset: keep; snap: keep — construction identity
 	flows []*Transfer    // Reset asserts none in flight
-	gen   uint64         // invalidates stale completion events; bumped by Reset
+	gen   uint64         // invalidates stale completion events; bumped by Reset and Restore; snap: keep — monotone, never captured
 
 	// Interned servers and the solver's per-network scratch, indexed by
 	// Server.idx. srvEpoch stamps which solve last initialised a slot, so
 	// a solve touches only the servers its flows cross and nothing is
 	// cleared between solves.
-	servers  []*Server // reset: keep — interned; rebuilding them is the cold-start cost pooling avoids
-	epoch    uint64    // reset: keep — monotone solve stamp; only equality with srvEpoch matters
-	srvEpoch []uint64  // reset: keep — per-slot stamps stay valid under a monotone epoch
-	residual []float64 // reset: keep — scratch, fully re-initialised by each solve's epoch check
-	count    []int     // reset: keep — scratch, fully re-initialised by each solve's epoch check
-	touched  []int32   // reset: keep — scratch; emptied when each solve retires
+	servers  []*Server // reset: keep; snap: keep — interned; rebuilding them is the cold-start cost pooling avoids
+	epoch    uint64    // reset: keep; snap: keep — monotone solve stamp; only equality with srvEpoch matters
+	srvEpoch []uint64  // reset: keep; snap: keep — per-slot stamps stay valid under a monotone epoch
+	residual []float64 // reset: keep; snap: keep — scratch, fully re-initialised by each solve's epoch check
+	count    []int     // reset: keep; snap: keep — scratch, fully re-initialised by each solve's epoch check
+	touched  []int32   // reset: keep; snap: keep — scratch; emptied when each solve retires
 
 	// solvePending coalesces same-instant re-solves: the first start or
 	// finish at an instant schedules one solve event at that instant and
@@ -152,7 +152,7 @@ type Network struct {
 
 	// pool recycles Transfer records whose lifetime is confined to one
 	// blocking Transfer/TransferRoute call.
-	pool []*Transfer // reset: keep — warm record pool
+	pool []*Transfer // reset: keep; snap: keep — warm record pool
 }
 
 // NewNetwork returns an empty flow network on s.

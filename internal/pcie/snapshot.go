@@ -1,0 +1,36 @@
+package pcie
+
+import "fmt"
+
+// NetSnapshot marks a flow network captured at quiescence. The network
+// holds no absolute-time state between transfers — per-flow progress
+// clocks live on the Transfer records, and at quiescence there are none
+// — so the snapshot carries nothing; it exists so Cluster snapshots
+// assert the network really was idle at capture, and so Restore can
+// quarantine stale completion events the same way Reset does.
+type NetSnapshot struct{}
+
+// Snapshot asserts the network is quiescent and returns its (empty)
+// captured state.
+func (n *Network) Snapshot() NetSnapshot {
+	if len(n.flows) != 0 {
+		panic(fmt.Sprintf("pcie: Snapshot with %d active flow(s)", len(n.flows)))
+	}
+	if n.solvePending {
+		panic("pcie: Snapshot with a solve pending")
+	}
+	return NetSnapshot{}
+}
+
+// Restore prepares a quiescent network to serve a forked world's future.
+// Bumping the generation quarantines any completion event a previous
+// life scheduled for this instant, exactly as Reset does.
+func (n *Network) Restore(NetSnapshot) {
+	if len(n.flows) != 0 {
+		panic(fmt.Sprintf("pcie: Restore with %d active flow(s)", len(n.flows)))
+	}
+	if n.solvePending {
+		panic("pcie: Restore with a solve pending")
+	}
+	n.gen++
+}

@@ -15,15 +15,15 @@ import (
 type Simulator struct {
 	now    Time
 	seq    uint64
-	sched  SchedulerKind // reset: keep — construction identity
+	sched  SchedulerKind // reset: keep; snap: keep — construction identity
 	events eventQueue    // points at ladderQ or heapQ below
 
 	// The queue backings live inside the Simulator so selecting one via
 	// the interface field costs no extra allocation. Only the one events
 	// points at is ever non-empty; Reset rewinds it through the
 	// interface.
-	ladderQ ladderQueue // reset: keep — reset via events (inactive backing stays empty)
-	heapQ   eventHeap   // reset: keep — reset via events (inactive backing stays empty)
+	ladderQ ladderQueue // reset: keep; snap: keep — reset via events; empty at quiescence
+	heapQ   eventHeap   // reset: keep; snap: keep — reset via events; empty at quiescence
 
 	// ready is the same-timestamp fast path: events scheduled for the
 	// current instant never touch the heap. Because seq grows
@@ -37,7 +37,7 @@ type Simulator struct {
 	// yielded carries control back from a running process to the
 	// scheduler. Exactly one process may be between resume and yield at
 	// any moment, so an unbuffered channel suffices.
-	yielded chan struct{} // reset: keep — the handshake channel outlives runs
+	yielded chan struct{} // reset: keep; snap: keep — the handshake channel outlives runs
 
 	procs map[*Proc]struct{} // reset: keep — parked daemons survive a reset by design
 
@@ -45,7 +45,7 @@ type Simulator struct {
 	running bool  // reset: keep — Reset panics unless false
 	killed  bool  // reset: keep — Shutdown is terminal; Reset panics if set
 
-	executed uint64 // events dispatched since New or Reset
+	executed uint64 // events dispatched since New or Reset; snap: keep — Restore rezeroes it, the world snapshot records its own event count
 }
 
 // errKilled aborts a blocking call issued from a defer while Shutdown is
@@ -331,27 +331,34 @@ func (s *Simulator) LiveProcs() int { return len(s.procs) }
 // heap's and ready queue's backing arrays are retained, so a reset
 // allocates nothing.
 func (s *Simulator) Reset() {
-	if s.running {
-		panic("sim: Reset during Run")
-	}
-	if s.killed {
-		panic("sim: Reset after Shutdown")
-	}
-	if s.fatal != nil {
-		panic("sim: Reset of a failed simulation: " + s.fatal.Error())
-	}
-	if n := s.nondaemonProcs(); n > 0 {
-		panic(fmt.Sprintf("sim: Reset with %d non-daemon process(es) live", n))
-	}
-	if s.events.Len() > 0 || s.readyHead < len(s.ready) {
-		panic("sim: Reset with pending events")
-	}
+	s.assertQuiescent("Reset")
 	s.now = 0
 	s.seq = 0
 	s.executed = 0
 	s.events.reset()
 	s.ready = s.ready[:0]
 	s.readyHead = 0
+}
+
+// assertQuiescent panics unless the simulator is between runs with every
+// non-daemon process exited and no events pending — the precondition
+// shared by Reset, Snapshot, and Restore.
+func (s *Simulator) assertQuiescent(op string) {
+	if s.running {
+		panic("sim: " + op + " during Run")
+	}
+	if s.killed {
+		panic("sim: " + op + " after Shutdown")
+	}
+	if s.fatal != nil {
+		panic("sim: " + op + " of a failed simulation: " + s.fatal.Error())
+	}
+	if n := s.nondaemonProcs(); n > 0 {
+		panic(fmt.Sprintf("sim: %s with %d non-daemon process(es) live", op, n))
+	}
+	if s.events.Len() > 0 || s.readyHead < len(s.ready) {
+		panic("sim: " + op + " with pending events")
+	}
 }
 
 // Shutdown releases every parked process goroutine (daemons included) and
