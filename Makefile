@@ -49,6 +49,8 @@ bench-smoke:
 		./internal/sim | tee -a bench_gate.out
 	$(GO) test -run xxx -bench 'BenchmarkScaleWorld256$$' -benchmem -benchtime 10x \
 		./internal/bench | tee -a bench_gate.out
+	$(GO) test -run xxx -bench 'BenchmarkSwitchWorld$$' -benchmem -benchtime 100x \
+		./internal/bench | tee -a bench_gate.out
 	$(GO) test -run xxx -bench 'BenchmarkWorldFork$$' -benchmem -benchtime 200x \
 		./internal/bench | tee -a bench_gate.out
 	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -input bench_gate.out

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	appbench [-hosts N] [-profile gen3x8] [-kernel heat1d|matmul|intsort|all] [-j N]
+//	appbench [-hosts N] [-profile gen3x8] [-fabric KIND] [-kernel heat1d|matmul|intsort|all] [-j N]
 package main
 
 import (
@@ -16,11 +16,13 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/fabric"
 	"repro/internal/model"
 )
 
 func main() {
 	hosts := flag.Int("hosts", 4, "ring size")
+	fabricName := flag.String("fabric", "ntb-ring", "fabric backend to run the kernels over: ntb-ring, ntb-pair, pcie-switch, or cxl")
 	profile := flag.String("profile", "gen3x8", "platform profile (see model.Names)")
 	kernel := flag.String("kernel", "all", "kernel: heat1d, matmul, intsort or all")
 	cells := flag.Int("cells", 2048, "heat1d: total cells")
@@ -30,6 +32,21 @@ func main() {
 	j := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
 	bench.SetParallelism(*j)
+
+	kind, err := fabric.ParseKind(*fabricName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "appbench: -fabric:", err)
+		os.Exit(2)
+	}
+	if max := fabric.MaxHostsFor(kind); *hosts < 2 || *hosts > max {
+		fmt.Fprintf(os.Stderr, "appbench: -hosts=%d out of range [2, %d] for the %s fabric\n", *hosts, max, kind)
+		os.Exit(2)
+	}
+	if kind == fabric.KindNTBPair && *hosts != 2 {
+		fmt.Fprintf(os.Stderr, "appbench: -hosts=%d: the ntb-pair fabric joins exactly 2 hosts\n", *hosts)
+		os.Exit(2)
+	}
+	bench.SetFabric(kind)
 
 	par, err := model.Profile(*profile)
 	if err != nil {
@@ -75,6 +92,17 @@ func main() {
 	// Fan the (kernel, config) matrix across workers; each cell runs its
 	// own self-verifying world, results print in fixed order.
 	cfgs := bench.AppConfigs()
+	if kind != fabric.KindNTBRing {
+		// The pipelined header-in-window protocol is ring-only; keep the
+		// configurations every backend supports.
+		kept := cfgs[:0]
+		for _, cfg := range cfgs {
+			if cfg.Opts.Pipeline < 2 {
+				kept = append(kept, cfg)
+			}
+		}
+		cfgs = kept
+	}
 	type cellKey struct{ ki, ci int }
 	var cellKeys []cellKey
 	for ki := range selected {
@@ -86,7 +114,7 @@ func main() {
 		return selected[k.ki].run(cfgs[k.ci])
 	})
 
-	fmt.Printf("profile %s, %d hosts (every kernel self-verifies)\n\n", *profile, *hosts)
+	fmt.Printf("profile %s, %d hosts, %s fabric (every kernel self-verifies)\n\n", *profile, *hosts, kind)
 	fmt.Printf("%-10s", "kernel")
 	for _, cfg := range cfgs {
 		fmt.Printf(" %22s", cfg.Name)

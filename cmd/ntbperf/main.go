@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ntbperf [-hosts N] [-gen G] [-lanes L] [-csv] [-j N]
+//	ntbperf [-hosts N] [-gen G] [-lanes L] [-fabric KIND] [-csv] [-j N]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/fabric"
 	"repro/internal/model"
 )
 
@@ -23,11 +24,17 @@ func main() {
 	hosts := flag.Int("hosts", 3, "ring size for the simultaneous-transfer measurement")
 	gen := flag.Int("gen", 3, "PCIe generation (1-3)")
 	lanes := flag.Int("lanes", 8, "PCIe lane count")
+	fabricName := flag.String("fabric", "ntb-ring", "fabric backend: ntb-ring, ntb-pair, pcie-switch, or cxl (non-ring backends run the cross-fabric workload)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	j := flag.Int("j", runtime.GOMAXPROCS(0), "worker count: independent simulation worlds run in parallel")
 	flag.Parse()
 	bench.SetParallelism(*j)
 
+	kind, err := fabric.ParseKind(*fabricName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntbperf: -fabric:", err)
+		os.Exit(2)
+	}
 	par := model.Default()
 	par.Gen, par.Lanes = *gen, *lanes
 	if err := par.Validate(); err != nil {
@@ -35,6 +42,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if kind != fabric.KindNTBRing {
+		// Fig 8's independent/ring split is a ring-topology concept; on
+		// the other backends report the cross-fabric contention workload
+		// for the one requested kind instead.
+		emit(bench.RunCrossFabric(par, []fabric.Kind{kind}), *csv)
+		return
+	}
 	if *hosts == 3 {
 		for _, f := range bench.RunFig8(par) {
 			emit(f, *csv)

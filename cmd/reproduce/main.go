@@ -6,6 +6,7 @@
 //
 //	reproduce [-skip-ablations] [-csv] [-j N] [-world-pool=false] [-bench-json FILE]
 //	          [-scaling=false] [-scale-pes 3,64,256,1024] [-scheduler ladder|heap]
+//	          [-fabric ntb-ring,pcie-switch,cxl]
 package main
 
 import (
@@ -114,6 +115,7 @@ func main() {
 	scalePEs := flag.String("scale-pes", "3,16,64,256,1024", "comma-separated ring sizes for the scaling sweep")
 	scaleReps := flag.Int("scale-reps", 2, "worlds per scaling point (first warms the pool)")
 	schedName := flag.String("scheduler", "ladder", "event scheduler for all simulation worlds: ladder or heap")
+	fabricList := flag.String("fabric", "ntb-ring,pcie-switch,cxl", "comma-separated fabric backends for the cross-fabric figure (E6): ntb-ring, ntb-pair, pcie-switch, cxl")
 	flag.Parse()
 	bench.SetParallelism(*par)
 	bench.SetWorldPool(*worldPool)
@@ -125,6 +127,11 @@ func main() {
 	}
 	sim.SetDefaultScheduler(sched)
 	pes, err := parsePEs(*scalePEs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	fabKinds, err := parseFabrics(*fabricList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(2)
@@ -231,6 +238,10 @@ func main() {
 	timed("Fig 8", func() []*bench.Figure { return bench.RunFig8(mp) })
 	fig9 := timed("Fig 9", func() []*bench.Figure { return bench.RunFig9(mp) })
 	timed("Fig 10", one(func() *bench.Figure { return bench.RunFig10(mp) }))
+	// The cross-fabric comparison runs even under -skip-ablations: it is
+	// the one figure exercising every Link backend, so the CI smoke run
+	// keeps the switch and CXL fabrics covered.
+	timed("E6", one(func() *bench.Figure { return bench.RunCrossFabric(mp, fabKinds) }))
 
 	if !*skipAblations {
 		timed("A1", one(func() *bench.Figure { return bench.RunAblationBarrierAlgo(mp) }))
@@ -401,6 +412,28 @@ func runScaling(mp *model.Params, pes []int, reps int, sched sim.SchedulerKind) 
 	sim.SetDefaultScheduler(sched)
 	fmt.Println()
 	return points
+}
+
+// parseFabrics validates the -fabric list at the command layer so a
+// typoed backend name is a flag error naming the valid kinds, not a
+// mid-run panic.
+func parseFabrics(list string) ([]fabric.Kind, error) {
+	var kinds []fabric.Kind
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		k, err := fabric.ParseKind(tok)
+		if err != nil {
+			return nil, fmt.Errorf("-fabric: %w", err)
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-fabric: empty backend list")
+	}
+	return kinds, nil
 }
 
 // parsePEs validates the scaling axis at the command layer so a bad

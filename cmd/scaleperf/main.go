@@ -7,6 +7,7 @@
 // Usage:
 //
 //	scaleperf [-pes 3,16,64,256,1024] [-reps N] [-scheduler ladder|heap] [-put-bytes N]
+//	          [-fabric ntb-ring|pcie-switch|cxl]
 package main
 
 import (
@@ -28,9 +29,15 @@ func main() {
 	reps := flag.Int("reps", 3, "worlds to run per point (first warms the pool)")
 	schedName := flag.String("scheduler", "ladder", "event scheduler: ladder or heap")
 	putBytes := flag.Int("put-bytes", 4096, "payload each PE puts to its right neighbour")
+	fabricName := flag.String("fabric", "ntb-ring", "fabric backend to scale over: ntb-ring, pcie-switch, or cxl")
 	flag.Parse()
 
-	pes, err := parsePEs(*pesFlag)
+	kind, err := fabric.ParseKind(*fabricName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaleperf: -fabric:", err)
+		os.Exit(2)
+	}
+	pes, err := parsePEs(*pesFlag, kind)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scaleperf:", err)
 		os.Exit(2)
@@ -49,9 +56,10 @@ func main() {
 		os.Exit(2)
 	}
 	sim.SetDefaultScheduler(sched)
+	bench.SetFabric(kind)
 
 	par := model.Default()
-	fmt.Printf("ring scaling sweep: scheduler=%s reps=%d put-bytes=%d\n\n", sched, *reps, *putBytes)
+	fmt.Printf("%s scaling sweep: scheduler=%s reps=%d put-bytes=%d\n\n", kind, sched, *reps, *putBytes)
 	fmt.Printf("%6s %8s %16s %9s %14s %10s %10s\n",
 		"pes", "worlds", "virtual events", "wall s", "events/s", "worlds/s", "ns/event")
 	for _, n := range pes {
@@ -69,10 +77,12 @@ func main() {
 	bench.DrainWorldPool()
 }
 
-// parsePEs validates the sweep axis at the command layer: every ring
-// size must be something fabric.NewRing will accept, reported here with
-// flag context instead of surfacing as a mid-sweep panic.
-func parsePEs(list string) ([]int, error) {
+// parsePEs validates the sweep axis at the command layer: every cluster
+// size must be something the selected fabric backend will build,
+// reported here with flag context instead of surfacing as a mid-sweep
+// panic.
+func parsePEs(list string, kind fabric.Kind) ([]int, error) {
+	max := fabric.MaxHostsFor(kind)
 	var pes []int
 	for _, tok := range strings.Split(list, ",") {
 		tok = strings.TrimSpace(tok)
@@ -81,10 +91,10 @@ func parsePEs(list string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(tok)
 		if err != nil {
-			return nil, fmt.Errorf("-pes: %q is not a ring size", tok)
+			return nil, fmt.Errorf("-pes: %q is not a cluster size", tok)
 		}
-		if n < 2 || n > fabric.MaxHosts {
-			return nil, fmt.Errorf("-pes: ring size %d out of range [2, %d]", n, fabric.MaxHosts)
+		if n < 2 || n > max {
+			return nil, fmt.Errorf("-pes: cluster size %d out of range [2, %d] for the %s fabric", n, max, kind)
 		}
 		pes = append(pes, n)
 	}

@@ -39,7 +39,10 @@ func Fig8Independent(par *model.Params, linkIdx, size int) float64 {
 	pp.ChipsetSpread = nil
 	worldCount.Add(1)
 	s := sim.New()
-	c := fabric.NewPair(s, pp)
+	c, err := fabric.NewPair(s, pp)
+	if err != nil {
+		panic(fmt.Sprintf("bench: fig8-independent link=%d: %v", linkIdx, err))
+	}
 	var tput float64
 	s.Go("sender", func(p *sim.Proc) {
 		tput = rawDMAStream(p, c.Hosts[0].Right, size, fig8Reps)

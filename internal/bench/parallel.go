@@ -42,6 +42,20 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// benchFabric selects which fabric backend subsequent world builds use;
+// the zero value is fabric.KindNTBRing, the reference topology every
+// golden CSV was produced over.
+var benchFabric atomic.Int64
+
+// SetFabric selects the fabric backend for subsequent figure sweeps.
+// Pooled worlds and cached prefix snapshots are keyed by fabric kind, so
+// flipping the backend mid-process can never hand a sweep a world of the
+// wrong topology.
+func SetFabric(k fabric.Kind) { benchFabric.Store(int64(k)) }
+
+// Fabric reports the fabric backend sweeps will build worlds over.
+func Fabric() fabric.Kind { return fabric.Kind(benchFabric.Load()) }
+
 // worldCount tallies simulated worlds across all sweeps, for the
 // harness's worlds-per-second summary.
 var worldCount atomic.Uint64
@@ -243,11 +257,13 @@ func runRingWorldPrefixed(label string, par *model.Params, n int, opts core.Opti
 	runRingWorldReplay(label, par, n, opts, combined)
 }
 
-// buildRingWorld constructs a fresh n-host ring world, panicking with
-// the point label on topology errors.
+// buildRingWorld constructs a fresh n-host world over the selected
+// fabric backend (the ring by default — the name survives from when the
+// ring was the only topology), panicking with the point label on
+// topology errors.
 func buildRingWorld(label string, par *model.Params, n int, opts core.Options) *core.World {
 	s := sim.New()
-	c, err := fabric.NewRing(s, par, n)
+	c, err := fabric.New(fabric.Config{Sim: s, Par: par, Hosts: n, Kind: Fabric()})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s: %v", label, err))
 	}

@@ -146,8 +146,6 @@ func (pe *PE) amo(p *sim.Proc, target int, addr SymAddr, op AMOOp, w amoWidth, o
 		pe.heapWrite.Broadcast()
 		return old
 	}
-	dir := pe.dirTo(target)
-	tx, nextHop := pe.txToward(dir)
 	tag := pe.newTag()
 	req := &pendingReq{cond: sim.NewCond(fmt.Sprintf("amo:%d:%d", pe.id, tag))}
 	pe.addPending(tag, req)
@@ -156,14 +154,12 @@ func (pe *PE) amo(p *sim.Proc, target int, addr SymAddr, op AMOOp, w amoWidth, o
 		Kind:   driver.KindAMO,
 		Src:    uint16(pe.id),
 		Dst:    uint16(target),
-		Dir:    dir,
-		Region: pe.regionFor(target, nextHop),
 		Size:   16,
 		SymOff: uint64(addr),
 		Tag:    tag,
 		Aux:    uint64(op) | uint64(w)<<8,
 	}
-	tx.SendChunk(p, info, driver.Payload{Buf: operands[:], N: 16}, pe.mode)
+	pe.link.Send(p, info, driver.Payload{Buf: operands[:], N: 16})
 	for !req.replied {
 		req.cond.Wait(p)
 	}

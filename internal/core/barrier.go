@@ -6,12 +6,15 @@ import (
 )
 
 // BarrierAll is shmem_barrier_all. All PEs must call it; on return, every
-// PE has entered the barrier and — for the default ring algorithm — every
-// put issued before the barrier is visible in its destination heap.
+// PE has entered the barrier and — for the default algorithm — every put
+// issued before the barrier is visible in its destination heap.
 //
-// Implementation follows the paper's Fig 6 for BarrierRing; the
-// centralised and dissemination variants exist for the barrier-algorithm
-// ablation.
+// The default algorithm is the fabric's native delivery barrier when it
+// has one (the paper's Fig 6 ring protocol on the NTB ring, the doorbell
+// rounds on the pair); fabrics without one — and the explicit
+// centralised/dissemination selections for the barrier-algorithm
+// ablation — run the token-counting algorithms over the ordinary message
+// path, which preserves delivery because tokens cannot overtake data.
 func (pe *PE) BarrierAll(p *sim.Proc) {
 	pe.checkLive()
 	opStart := p.Now()
@@ -20,66 +23,18 @@ func (pe *PE) BarrierAll(p *sim.Proc) {
 	// "It is first checked if previous DMA data transfer for Put or Get
 	// has been completed" (§III-B.4).
 	pe.Quiet(p)
-	pe.drainLocal(p)
+	pe.link.Drain(p)
 	switch pe.world.opts.Barrier {
 	case BarrierCentral:
 		pe.barrierCentral(p)
 	case BarrierDissemination:
 		pe.barrierDissemination(p)
 	default:
-		pe.barrierRing(p)
+		if !pe.link.Barrier(p) {
+			pe.barrierDissemination(p)
+		}
 	}
 	pe.barrierEpoch++
-}
-
-// barrierRing is the paper's two-round protocol: host 0 sends
-// BARRIER_START rightward; each host forwards it after flushing its own
-// relay queue; when the start round returns to host 0 it launches the
-// BARRIER_END round the same way, and hosts release as the end passes.
-//
-// The per-hop flush is what upgrades the barrier from synchronisation to
-// delivery: a host only propagates the token once every chunk staged on
-// it has been pushed one hop (and acknowledged — for a final hop that
-// means copied into the destination heap). Induction along the token's
-// path flushes every chain that runs in the token's direction, so under
-// shortest-path routing a second, leftward round is required for the
-// leftward chains.
-func (pe *PE) barrierRing(p *sim.Proc) {
-	pe.ringRound(p, driver.DirRight)
-	if pe.world.opts.Routing == RouteShortest {
-		pe.ringRound(p, driver.DirLeft)
-	}
-}
-
-// ringRound circulates one start round and one end round in the given
-// direction.
-func (pe *PE) ringRound(p *sim.Proc, dir driver.Dir) {
-	out := pe.host.RightEP
-	startQ, endQ := pe.startQ, pe.endQ
-	if dir == driver.DirLeft {
-		out = pe.host.LeftEP
-		startQ, endQ = pe.startQL, pe.endQL
-	}
-	if pe.id == 0 {
-		out.Ring(p, driver.VecBarrierStart)
-		pe.waitToken(p, startQ)
-		pe.drainLocal(p)
-		out.Ring(p, driver.VecBarrierEnd)
-		pe.waitToken(p, endQ)
-	} else {
-		pe.waitToken(p, startQ)
-		pe.drainLocal(p)
-		out.Ring(p, driver.VecBarrierStart)
-		pe.waitToken(p, endQ)
-		out.Ring(p, driver.VecBarrierEnd)
-	}
-}
-
-// waitToken blocks on a doorbell-token queue and charges the application
-// thread wake-up cost.
-func (pe *PE) waitToken(p *sim.Proc, q *sim.Queue[struct{}]) {
-	q.Pop(p)
-	p.Sleep(pe.par.AppWake)
 }
 
 // ctlKey builds the control-token key for (epoch, round/phase).
@@ -87,27 +42,28 @@ func (pe *PE) ctlKey(round int) uint32 {
 	return pe.barrierEpoch<<8 | uint32(round)
 }
 
-// sendCtl routes one barrier-control token to another PE through the
-// ordinary message path, so tokens cannot overtake data staged on the
-// same ring segments.
-func (pe *PE) sendCtl(p *sim.Proc, target, round int) {
-	dir := pe.dirTo(target)
-	tx, nextHop := pe.txToward(dir)
-	info := driver.Info{
-		Kind:   driver.KindBarrierCtl,
-		Src:    uint16(pe.id),
-		Dst:    uint16(target),
-		Dir:    dir,
-		Region: pe.regionFor(target, nextHop),
-		Tag:    pe.ctlKey(round),
-	}
-	tx.SendChunk(p, info, driver.Payload{}, pe.mode)
+// syncKey builds the control-token key for a SyncAll round; bit 31
+// separates the sync key space from barrier epochs.
+func (pe *PE) syncKey(round int) uint32 {
+	return 1<<31 | pe.syncEpoch<<8 | uint32(round)
 }
 
-// waitCtl blocks until count tokens for (epoch, round) have arrived, then
-// consumes them.
-func (pe *PE) waitCtl(p *sim.Proc, round, count int) {
-	key := pe.ctlKey(round)
+// sendCtl routes one barrier-control token to another PE through the
+// ordinary message path, so tokens cannot overtake data staged on the
+// same fabric segments.
+func (pe *PE) sendCtl(p *sim.Proc, target int, key uint32) {
+	info := driver.Info{
+		Kind: driver.KindBarrierCtl,
+		Src:  uint16(pe.id),
+		Dst:  uint16(target),
+		Tag:  key,
+	}
+	pe.link.Send(p, info, driver.Payload{})
+}
+
+// waitCtl blocks until count tokens for key have arrived, then consumes
+// them.
+func (pe *PE) waitCtl(p *sim.Proc, key uint32, count int) {
 	for pe.ctl[key] < count {
 		pe.ctlCond.Wait(p)
 	}
@@ -132,45 +88,44 @@ const (
 func (pe *PE) barrierCentral(p *sim.Proc) {
 	n := pe.NumPEs()
 	if pe.id == 0 {
-		pe.waitCtl(p, ctlArrive, n-1)
-		pe.drainLocal(p)
+		pe.waitCtl(p, pe.ctlKey(ctlArrive), n-1)
+		pe.link.Drain(p)
 		for t := 1; t < n; t++ {
-			pe.sendCtl(p, t, ctlRelease)
+			pe.sendCtl(p, t, pe.ctlKey(ctlRelease))
 		}
 	} else {
-		pe.sendCtl(p, 0, ctlArrive)
-		pe.waitCtl(p, ctlRelease, 1)
+		pe.sendCtl(p, 0, pe.ctlKey(ctlArrive))
+		pe.waitCtl(p, pe.ctlKey(ctlRelease), 1)
 	}
 }
 
 // barrierDissemination runs ceil(log2 N) rounds; in round r, PE i
 // signals PE (i+2^r) mod N and waits for the signal from (i-2^r) mod N.
-// Each PE flushes its relay queue before signalling so tokens push
-// staged data ahead of themselves.
+// Each PE flushes its link before signalling so tokens push staged data
+// ahead of themselves.
 func (pe *PE) barrierDissemination(p *sim.Proc) {
 	n := pe.NumPEs()
 	for r, dist := 0, 1; dist < n; r, dist = r+1, dist*2 {
-		pe.drainLocal(p)
-		pe.sendCtl(p, (pe.id+dist)%n, r)
-		pe.waitCtl(p, r, 1)
+		pe.link.Drain(p)
+		pe.sendCtl(p, (pe.id+dist)%n, pe.ctlKey(r))
+		pe.waitCtl(p, pe.ctlKey(r), 1)
 	}
 }
 
 // SyncAll is shmem_sync_all: a pure synchronisation barrier that does not
-// imply put delivery. It always uses the ring doorbell protocol without
-// the relay flush, and exists so the ablation can price the flush.
+// imply put delivery. Fabrics with a native doorbell protocol run it
+// without the relay flush (so the ablation can price the flush); others
+// run dissemination token rounds without the per-round drain.
 func (pe *PE) SyncAll(p *sim.Proc) {
 	pe.checkLive()
-	right := pe.host.RightEP
-	if pe.id == 0 {
-		right.Ring(p, driver.VecBarrierStart)
-		pe.waitToken(p, pe.startQ)
-		right.Ring(p, driver.VecBarrierEnd)
-		pe.waitToken(p, pe.endQ)
-	} else {
-		pe.waitToken(p, pe.startQ)
-		right.Ring(p, driver.VecBarrierStart)
-		pe.waitToken(p, pe.endQ)
-		right.Ring(p, driver.VecBarrierEnd)
+	if pe.link.Sync(p) {
+		return
 	}
+	n := pe.NumPEs()
+	for r, dist := 0, 1; dist < n; r, dist = r+1, dist*2 {
+		key := pe.syncKey(r)
+		pe.sendCtl(p, (pe.id+dist)%n, key)
+		pe.waitCtl(p, key, 1)
+	}
+	pe.syncEpoch++
 }

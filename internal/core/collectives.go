@@ -51,7 +51,7 @@ func (pe *PE) BroadcastBytesPipelined(p *sim.Proc, root int, addr SymAddr, n int
 	pe.LocalWrite(p, sig, make([]byte, 8))
 	pe.BarrierAll(p)
 
-	right := pe.host.RightNeighbor()
+	right := (pe.id + 1) % pe.NumPEs()
 	last := (root - 1 + pe.NumPEs()) % pe.NumPEs() // end of the chain
 	buf := make([]byte, chunk)
 	for c := 0; c < chunks; c++ {

@@ -5,68 +5,19 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
-	"repro/internal/ntb"
 	"repro/internal/sim"
 )
 
-// serve is the per-host service thread of Fig 5. It sleeps until a
-// DMAPUT/DMAGET doorbell queues work, pays the thread wake-up cost, and
-// dispatches: under the paper's protocol it reads the transfer
-// information from the scratchpads and handles one message; under the
-// pipelined protocol it drains every in-order slot the doorbell (or a
-// coalesced batch of doorbells) announced.
-func (pe *PE) serve(p *sim.Proc) {
-	for {
-		port, ok := pe.svcQ.TryPop()
-		if !ok {
-			pe.setSvcActive(false)
-			port = pe.svcQ.Pop(p)
-			p.Sleep(pe.par.ServiceWake)
-		}
-		pe.setSvcActive(true)
-		p.Sleep(pe.par.ISRCost)
-		if rx := pe.rxByPort[port]; rx != nil {
-			for {
-				info, payload, ready := rx.Next(p)
-				if !ready {
-					break
-				}
-				pe.handle(p, info, payload, rx.Release)
-			}
-			continue
-		}
-		info := driver.ReadInfo(p, port)
-		payload := port.Inbound(info.Region)[:info.Size]
-		pe.handle(p, info, payload, func(pp *sim.Proc) { driver.Ack(pp, port) })
-	}
-}
-
-// setSvcActive tracks whether the service thread is mid-message, for
-// the barrier's inbound-drain wait.
-func (pe *PE) setSvcActive(active bool) {
-	pe.svcActive = active
-	if !active {
-		pe.svcIdle.Broadcast()
-	}
-}
-
-// handle implements the Fig 5 decision tree for one arrived message.
-// payload aliases the inbound window (or slot); every branch copies what
-// it needs out before calling ack, because ack lets the sender reuse the
-// space.
+// handle implements the Fig 5 decision tree for one message delivered to
+// this PE by its fabric link. payload aliases fabric-owned space (an
+// inbound window, a pipeline slot, or the sender's buffer on a
+// load/store fabric); every branch copies what it needs out before
+// calling ack, because ack lets the sender reuse the space. Transit
+// traffic never reaches here — store-and-forward relaying is the link's
+// business (the ring's bypass path).
 func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*sim.Proc)) {
 	if int(info.Dst) != pe.id {
-		// Not for me: stage the payload, release the upstream link, and
-		// queue the chunk for relay ("bypass data via transfer buffer").
-		var data []byte
-		if info.Size > 0 {
-			data = pe.getBuf(int(info.Size))
-			p.Sleep(sim.BytesAt(int(info.Size), pe.par.MemcpyBW))
-			copy(data, payload)
-		}
-		ack(p)
-		pe.enqueueForward(info, data)
-		return
+		panic(fmt.Sprintf("core: pe %d delivered a message addressed to pe %d", pe.id, info.Dst))
 	}
 
 	switch info.Kind {
@@ -84,7 +35,7 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 		// heap and send it back the way the request came.
 		off, n := unpackGetAux(info.Aux)
 		pe.checkHeapRange(SymAddr(info.SymOff+uint64(off)), n)
-		data := pe.getBuf(n)
+		data := pe.link.GetBuf(n)
 		p.Sleep(sim.BytesAt(n, pe.par.MemcpyBW))
 		pe.heap.Read(int64(info.SymOff)+int64(off), data)
 		ack(p)
@@ -92,13 +43,12 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 			Kind:   driver.KindGetData,
 			Src:    uint16(pe.id),
 			Dst:    info.Src,
-			Dir:    oppositeDir(info.Dir),
 			Size:   uint32(n),
 			SymOff: info.SymOff,
 			Tag:    info.Tag,
 			Aux:    packGetAux(off, n),
 		}
-		pe.enqueueForward(reply, data)
+		pe.link.Reply(p, info, reply, data)
 
 	case driver.KindGetData:
 		// A chunk of my own pending get arrived.
@@ -124,11 +74,10 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 			Kind: driver.KindAMOReply,
 			Src:  uint16(pe.id),
 			Dst:  info.Src,
-			Dir:  oppositeDir(info.Dir),
 			Tag:  info.Tag,
 			Aux:  old,
 		}
-		pe.enqueueForward(reply, nil)
+		pe.link.Reply(p, info, reply, nil)
 		pe.heapWrite.Broadcast()
 
 	case driver.KindAMOReply:
@@ -152,112 +101,6 @@ func (pe *PE) handle(p *sim.Proc, info driver.Info, payload []byte, ack func(*si
 	default:
 		panic(fmt.Sprintf("core: pe %d received unknown kind %v", pe.id, info.Kind))
 	}
-}
-
-// enqueueForward hands a message to the forwarder thread. Callable from
-// process or scheduler context.
-func (pe *PE) enqueueForward(info driver.Info, data []byte) {
-	pe.fwdBusy++
-	pe.fwdQ.Push(&fwdMsg{info: info, data: data})
-}
-
-// forward is the relay half of the service path: it pushes staged chunks
-// one hop onward in their recorded direction. Relays are stop-and-wait
-// like first-hop sends, but the unbounded staging queue decouples them
-// from upstream ACKs, so rings cannot deadlock on store-and-forward
-// cycles.
-func (pe *PE) forward(p *sim.Proc) {
-	for {
-		m, ok := pe.fwdQ.TryPop()
-		if !ok {
-			m = pe.fwdQ.Pop(p)
-			p.Sleep(pe.par.ServiceWake)
-		}
-		tx, nextHop := pe.txToward(m.info.Dir)
-		info := m.info
-		info.Region = pe.regionFor(int(info.Dst), nextHop)
-		tx.SendChunk(p, info, driver.Payload{Buf: m.data, N: len(m.data)}, pe.mode)
-		if m.data != nil {
-			pe.putBuf(m.data)
-		}
-		pe.stats.ChunksForwarded++
-		pe.fwdBusy--
-		if pe.fwdBusy == 0 {
-			pe.fwdIdle.Broadcast()
-		}
-	}
-}
-
-// drainForwarder blocks until every staged chunk on this host has been
-// relayed. The barrier protocols call it before propagating their tokens,
-// which is what makes "barrier implies prior puts are delivered" hold on
-// the ring (the paper's "check previous DMA transfer completed" step).
-func (pe *PE) drainForwarder(p *sim.Proc) {
-	for pe.fwdBusy > 0 {
-		pe.fwdIdle.Wait(p)
-	}
-}
-
-// drainService blocks until the service thread has consumed every
-// queued inbound message and gone idle. Under the pipelined protocol a
-// sender's chunks may still sit unprocessed in this host's window when a
-// barrier token arrives, so the token must not be propagated past them.
-func (pe *PE) drainService(p *sim.Proc) {
-	for pe.svcQ.Len() > 0 || pe.svcActive {
-		pe.svcIdle.Wait(p)
-	}
-}
-
-// drainLocal flushes this host's inbound service work and then its relay
-// queue — the full "everything that reached me has moved on" step the
-// barrier protocols interpose before propagating tokens. Service
-// handling can enqueue relay work but never the reverse, so this order
-// suffices.
-func (pe *PE) drainLocal(p *sim.Proc) {
-	pe.drainService(p)
-	pe.drainForwarder(p)
-}
-
-// txToward returns the transmit channel and next-hop host Id for a
-// direction.
-func (pe *PE) txToward(d driver.Dir) (driver.Sender, int) {
-	if d == driver.DirLeft {
-		return pe.txLeftS, pe.host.LeftNeighbor()
-	}
-	return pe.txRightS, pe.host.RightNeighbor()
-}
-
-// regionFor picks the inbound window at the next hop: the data window
-// when the next hop is the final destination, the bypass window when the
-// chunk must be relayed again (Fig 4).
-func (pe *PE) regionFor(finalDst, nextHop int) ntb.Region {
-	if finalDst == nextHop {
-		return ntb.RegionData
-	}
-	return ntb.RegionBypass
-}
-
-// dirTo returns the routing direction from this PE toward dst. Under
-// the paper's policy data always travels rightward; under RouteShortest
-// it takes the shorter arc (ties rightward). Once chosen at the origin,
-// the direction is carried in the message and forwarding never reverses
-// it.
-func (pe *PE) dirTo(dst int) driver.Dir {
-	if pe.world.opts.Routing == RouteShortest {
-		n := pe.NumPEs()
-		right := (dst - pe.id + n) % n
-		if left := n - right; left < right {
-			return driver.DirLeft
-		}
-	}
-	return driver.DirRight
-}
-
-func oppositeDir(d driver.Dir) driver.Dir {
-	if d == driver.DirLeft {
-		return driver.DirRight
-	}
-	return driver.DirLeft
 }
 
 // packGetAux packs a get chunk's (offset, length) into the Aux register

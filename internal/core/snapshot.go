@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/driver"
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -30,10 +29,13 @@ func (s *WorldSnapshot) Events() uint64 { return s.events }
 // Time returns the virtual time the snapshot was captured at.
 func (s *WorldSnapshot) Time() sim.Time { return s.cluster.Time() }
 
-// peSnapshot captures one PE's runtime state.
+// peSnapshot captures one PE's runtime state; link is the opaque
+// per-fabric capture (pipe cursors and fabric counters on the ring,
+// counters elsewhere).
 type peSnapshot struct {
 	heap            *mem.HeapSnapshot
 	barrierEpoch    uint32
+	syncEpoch       uint32
 	ctl             map[uint32]int
 	pSyncCounts     map[SymAddr]int64
 	nextTag         uint32
@@ -41,8 +43,7 @@ type peSnapshot struct {
 	matchTableReady bool
 	nextCtxID       int
 	stats           Stats
-	txLeft, txRight *driver.PipeTxSnapshot
-	rxLeft, rxRight *driver.PipeRxSnapshot
+	link            any
 }
 
 // Snapshot captures a cleanly finished world (a nil-error RunKeep) so
@@ -75,11 +76,13 @@ func (pe *PE) snapshot() peSnapshot {
 	s := peSnapshot{
 		heap:            pe.heap.Snapshot(),
 		barrierEpoch:    pe.barrierEpoch,
+		syncEpoch:       pe.syncEpoch,
 		nextTag:         pe.nextTag,
 		matchTable:      pe.matchTable,
 		matchTableReady: pe.matchTableReady,
 		nextCtxID:       pe.nextCtxID,
 		stats:           pe.stats,
+		link:            pe.link.Snapshot(),
 	}
 	if len(pe.ctl) > 0 {
 		s.ctl = make(map[uint32]int, len(pe.ctl))
@@ -95,19 +98,6 @@ func (pe *PE) snapshot() peSnapshot {
 			s.pSyncCounts[k] = v
 		}
 	}
-	if tx, ok := pe.txLeftS.(*driver.PipeTx); ok {
-		snap := tx.Snapshot()
-		s.txLeft = &snap
-	}
-	if tx, ok := pe.txRightS.(*driver.PipeTx); ok {
-		snap := tx.Snapshot()
-		s.txRight = &snap
-	}
-	if pe.rxByPort != nil {
-		l := pe.rxByPort[pe.host.Left].Snapshot()
-		r := pe.rxByPort[pe.host.Right].Snapshot()
-		s.rxLeft, s.rxRight = &l, &r
-	}
 	return s
 }
 
@@ -116,12 +106,7 @@ func (pe *PE) snapshot() peSnapshot {
 // staged forwards, or un-drained service work mean the previous run did
 // not complete cleanly and the world must be discarded.
 func (pe *PE) assertQuiescent(op string) {
-	if pe.svcActive || pe.svcQ.Len() != 0 || pe.fwdBusy != 0 || pe.fwdQ.Len() != 0 {
-		panic(fmt.Sprintf("core: %s of pe %d with service work outstanding", op, pe.id))
-	}
-	if n := pe.startQ.Len() + pe.endQ.Len() + pe.startQL.Len() + pe.endQL.Len(); n != 0 {
-		panic(fmt.Sprintf("core: %s of pe %d with %d barrier token(s) queued", op, pe.id, n))
-	}
+	pe.link.AssertQuiescent(op)
 	if len(pe.pending) != 0 {
 		panic(fmt.Sprintf("core: %s of pe %d with %d pending request(s)", op, pe.id, len(pe.pending)))
 	}
@@ -164,6 +149,7 @@ func (w *World) Fork(s *WorldSnapshot) {
 func (pe *PE) restore(s *peSnapshot) {
 	pe.heap.Fork(s.heap)
 	pe.barrierEpoch = s.barrierEpoch
+	pe.syncEpoch = s.syncEpoch
 	if len(s.ctl) > 0 {
 		if pe.ctl == nil {
 			pe.ctl = make(map[uint32]int, len(s.ctl))
@@ -187,16 +173,7 @@ func (pe *PE) restore(s *peSnapshot) {
 	pe.matchTableReady = s.matchTableReady
 	pe.nextCtxID = s.nextCtxID
 	pe.stats = s.stats
-	if s.txLeft != nil {
-		pe.txLeftS.(*driver.PipeTx).Restore(*s.txLeft)
-	}
-	if s.txRight != nil {
-		pe.txRightS.(*driver.PipeTx).Restore(*s.txRight)
-	}
-	if s.rxLeft != nil {
-		pe.rxByPort[pe.host.Left].Restore(*s.rxLeft)
-		pe.rxByPort[pe.host.Right].Restore(*s.rxRight)
-	}
+	pe.link.Restore(s.link)
 }
 
 // LaunchForked spawns one application process per PE running body

@@ -31,9 +31,6 @@ func (pe *PE) PutBytes(p *sim.Proc, target int, dst SymAddr, src []byte) {
 		pe.heapWrite.Broadcast()
 		return
 	}
-	dir := pe.dirTo(target)
-	tx, nextHop := pe.txToward(dir)
-	region := pe.regionFor(target, nextHop)
 	for off := 0; off < len(src); off += pe.par.PutChunk {
 		n := len(src) - off
 		if n > pe.par.PutChunk {
@@ -43,12 +40,10 @@ func (pe *PE) PutBytes(p *sim.Proc, target int, dst SymAddr, src []byte) {
 			Kind:   driver.KindPut,
 			Src:    uint16(pe.id),
 			Dst:    uint16(target),
-			Dir:    dir,
-			Region: region,
 			Size:   uint32(n),
 			SymOff: uint64(dst) + uint64(off),
 		}
-		tx.SendChunk(p, info, driver.Payload{Buf: src[off : off+n], N: n}, pe.mode)
+		pe.link.Send(p, info, driver.Payload{Buf: src[off : off+n], N: n})
 		pe.stats.ChunksSent++
 	}
 }
@@ -74,9 +69,6 @@ func (pe *PE) GetBytes(p *sim.Proc, target int, src SymAddr, dst []byte) {
 		pe.heap.Read(int64(src), dst)
 		return
 	}
-	dir := pe.dirTo(target)
-	tx, nextHop := pe.txToward(dir)
-	region := pe.regionFor(target, nextHop)
 	tag := pe.newTag()
 	req := &pendingReq{buf: dst, cond: sim.NewCond(fmt.Sprintf("get:%d:%d", pe.id, tag))}
 	pe.addPending(tag, req)
@@ -90,13 +82,11 @@ func (pe *PE) GetBytes(p *sim.Proc, target int, src SymAddr, dst []byte) {
 			Kind:   driver.KindGetReq,
 			Src:    uint16(pe.id),
 			Dst:    uint16(target),
-			Dir:    dir,
-			Region: region,
 			SymOff: uint64(src),
 			Tag:    tag,
 			Aux:    packGetAux(uint64(off), n),
 		}
-		tx.SendChunk(p, info, driver.Payload{}, pe.mode)
+		pe.link.Send(p, info, driver.Payload{})
 		pe.stats.ChunksSent++
 		for req.arrived < off+n {
 			req.cond.Wait(p)

@@ -1,5 +1,9 @@
 // Package core implements the paper's contribution: an OpenSHMEM runtime
-// over the switchless PCIe NTB ring.
+// over the switchless PCIe NTB ring — and, through the fabric.Link
+// backend interface, over any other fabric the fabric package models
+// (NTB pair, PCIe switch, CXL.mem window). The runtime itself contains
+// no backend-specific branches; it speaks driver.Info messages through
+// its per-host Link.
 //
 // One PE (processing element) runs per host, as in the paper's testbed.
 // The runtime follows §III of the paper:
@@ -27,7 +31,6 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/model"
-	"repro/internal/ntb"
 	"repro/internal/sim"
 )
 
@@ -60,29 +63,17 @@ func (b BarrierAlgo) String() string {
 	}
 }
 
-// Routing selects how data is steered around the ring.
-type Routing int
+// Routing selects how data is steered around a ring fabric; it now
+// lives with the other fabric policy knobs (the aliases keep the
+// historical core API).
+type Routing = fabric.Routing
 
 const (
-	// RouteRightward is the paper's policy: all data travels toward
-	// increasing host Ids, which is how the 3-host testbed exhibits
-	// 2-hop transfers. Get replies return leftward along the request's
-	// path in either policy.
-	RouteRightward Routing = iota
-	// RouteShortest sends each message around the shorter arc of the
-	// ring (ties go rightward). It halves the average data hop count
-	// but doubles barrier cost: with traffic in both directions the
-	// ring barrier must circulate its start/end tokens both ways to
-	// keep the delivery-flush guarantee.
-	RouteShortest
+	// RouteRightward is the paper's policy: all data travels rightward.
+	RouteRightward = fabric.RouteRightward
+	// RouteShortest sends each message around the shorter arc.
+	RouteShortest = fabric.RouteShortest
 )
-
-func (r Routing) String() string {
-	if r == RouteShortest {
-		return "shortest"
-	}
-	return "rightward"
-}
 
 // Options configure a World.
 type Options struct {
@@ -151,36 +142,22 @@ func (pe *PE) emitOp(p *sim.Proc, op string, target, bytes int, start sim.Time) 
 }
 
 // PE is a processing element: the application-visible handle for one
-// host's OpenSHMEM runtime state.
+// host's OpenSHMEM runtime state. Everything interconnect-specific —
+// routing, service/relay threads, doorbells, native barriers — lives
+// behind the fabric.Link; the PE holds only fabric-agnostic protocol
+// state.
 type PE struct {
 	id    int
 	world *World        // reset: keep; snap: keep — construction identity
-	host  *fabric.Host  // reset: keep — construction identity
+	link  fabric.Link   // construction identity; reset via its own Reset
 	par   *model.Params // reset: keep; snap: keep — construction identity
 	mode  driver.Mode   // reset: keep; snap: keep — construction identity
 
 	heap      *mem.Heap
 	finalized bool
 
-	// Service path (Fig 5).
-	svcQ      *sim.Queue[*ntb.Port]
-	svcActive bool      // reset: keep — reset() panics unless false (service drained)
-	svcIdle   *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
-	fwdQ      *sim.Queue[*fwdMsg]
-	fwdBusy   int       // reset: keep — reset() panics unless zero
-	fwdIdle   *sim.Cond // reset: keep; snap: keep — no waiters survive a clean run
-	bufPool   [][]byte  // reset: keep; snap: keep — warm staging buffers hold no simulation state
-
-	// Link senders: the paper's stop-and-wait TxChannels or pipelined
-	// PipeTx, per Options.Pipeline; rx state exists only when pipelined.
-	txLeftS, txRightS driver.Sender // PipeTx reset here; TxChannel reset by Cluster.Reset
-	rxByPort          map[*ntb.Port]*driver.PipeRx
-
-	// Ring barrier tokens (Fig 6): one queue pair per travel direction
-	// (rightward tokens arrive on the left port and vice versa).
-	startQ, endQ   *sim.Queue[struct{}]
-	startQL, endQL *sim.Queue[struct{}]
-	barrierEpoch   uint32
+	barrierEpoch uint32
+	syncEpoch    uint32
 
 	// Control tokens for the alternative barrier algorithms (lazily
 	// created on first token; most PEs of a ring-barrier world never
@@ -231,12 +208,6 @@ func (pe *PE) addPending(tag uint32, req *pendingReq) {
 	pe.pending[tag] = req
 }
 
-// fwdMsg is a staged chunk awaiting relay by the forwarder thread.
-type fwdMsg struct {
-	info driver.Info
-	data []byte
-}
-
 // pendingReq tracks one in-flight get or AMO issued by this PE.
 type pendingReq struct {
 	buf     []byte // get destination
@@ -246,111 +217,42 @@ type pendingReq struct {
 	cond    *sim.Cond
 }
 
-// NewWorld builds an OpenSHMEM job over the given ring cluster. Interrupt
-// handlers and service threads are installed immediately (before virtual
-// time starts), mirroring a driver that loads before the application.
+// NewWorld builds an OpenSHMEM job over the given cluster, whatever its
+// fabric kind. Interrupt handlers and service threads are installed
+// immediately (before virtual time starts), mirroring a driver that
+// loads before the application.
 func NewWorld(c *fabric.Cluster, opts Options) *World {
-	if !c.Ring() {
-		panic("core: OpenSHMEM world requires a ring cluster")
-	}
 	if opts.Routing == RouteShortest && opts.Barrier != BarrierRing {
 		// Only the ring barrier's per-hop flush has a bidirectional
 		// variant; the token-counting algorithms would lose the
 		// delivery guarantee under two-direction traffic.
 		panic("core: RouteShortest requires the ring barrier")
 	}
-	if opts.Pipeline >= 2 {
-		slotPayload := c.Par.WindowSize/opts.Pipeline - driver.SlotHeaderBytes
-		maxChunk := c.Par.PutChunk
-		if c.Par.GetChunk > maxChunk {
-			maxChunk = c.Par.GetChunk
-		}
-		if c.Par.BypassChunk > maxChunk {
-			maxChunk = c.Par.BypassChunk
-		}
-		if maxChunk > slotPayload {
-			panic(fmt.Sprintf("core: pipeline depth %d leaves %d-byte slot payloads, below the largest protocol chunk %d",
-				opts.Pipeline, slotPayload, maxChunk))
-		}
+	links, err := c.Links(fabric.LinkOptions{
+		Mode:     opts.Mode,
+		Routing:  opts.Routing,
+		Pipeline: opts.Pipeline,
+	})
+	if err != nil {
+		panic("core: " + err.Error())
 	}
 	w := &World{Cluster: c, par: c.Par, opts: opts}
-	for _, h := range c.Hosts {
+	for i, h := range c.Hosts {
 		pe := &PE{
 			id:        h.ID,
 			world:     w,
-			host:      h,
+			link:      links[i],
 			par:       c.Par,
 			mode:      opts.Mode,
 			heap:      mem.NewHeap(c.Par.SymHeapChunk, c.Par.SymHeapMax),
-			svcQ:      sim.NewQueue[*ntb.Port](peName("svc:", h.ID)),
-			svcIdle:   sim.NewCond(peName("svc-idle:", h.ID)),
-			fwdQ:      sim.NewQueue[*fwdMsg](peName("fwd:", h.ID)),
-			fwdIdle:   sim.NewCond(peName("fwd-idle:", h.ID)),
-			startQ:    sim.NewQueue[struct{}](peName("barrier-start:", h.ID)),
-			endQ:      sim.NewQueue[struct{}](peName("barrier-end:", h.ID)),
-			startQL:   sim.NewQueue[struct{}](peName("barrier-start-left:", h.ID)),
-			endQL:     sim.NewQueue[struct{}](peName("barrier-end-left:", h.ID)),
 			ctlCond:   sim.NewCond(peName("ctl:", h.ID)),
 			quietCond: sim.NewCond(peName("quiet:", h.ID)),
 			heapWrite: sim.NewCond(peName("heap-write:", h.ID)),
 		}
 		w.pes = append(w.pes, pe)
-		pe.install()
+		pe.link.Start(pe.handle)
 	}
 	return w
-}
-
-// install wires doorbell vectors and spawns the service and forwarder
-// threads for this PE (the paper's shmem_init steps 2 and 4).
-func (pe *PE) install() {
-	s := pe.world.Cluster.Sim
-	// Pick the link protocol. NewPipeTx re-registers the ACK vector that
-	// the fabric-built stop-and-wait channels claimed, retiring them.
-	if depth := pe.world.opts.Pipeline; depth >= 2 {
-		pe.rxByPort = make(map[*ntb.Port]*driver.PipeRx)
-		pe.txLeftS = driver.NewPipeTx(pe.host.LeftEP, pe.par, depth)
-		pe.txRightS = driver.NewPipeTx(pe.host.RightEP, pe.par, depth)
-		pe.rxByPort[pe.host.Left] = driver.NewPipeRx(pe.host.Left, pe.par, depth)
-		pe.rxByPort[pe.host.Right] = driver.NewPipeRx(pe.host.Right, pe.par, depth)
-	} else {
-		pe.txLeftS = pe.host.TxLeft
-		pe.txRightS = pe.host.TxRight
-	}
-	dataVec := func(port *ntb.Port) func() {
-		return func() {
-			pe.stats.Interrupts++
-			pe.svcQ.Push(port)
-		}
-	}
-	for _, ep := range []*driver.Endpoint{pe.host.LeftEP, pe.host.RightEP} {
-		if ep == nil {
-			continue
-		}
-		ep.Handle(driver.VecPut, dataVec(ep.Port))
-		ep.Handle(driver.VecGet, dataVec(ep.Port))
-	}
-	// Rightward-travelling barrier tokens arrive on the left-side
-	// adapter (host 0's left adapter faces host N-1); leftward tokens —
-	// used by the bidirectional flush under shortest-path routing —
-	// arrive on the right-side adapter.
-	pe.host.LeftEP.Handle(driver.VecBarrierStart, func() {
-		pe.stats.Interrupts++
-		pe.startQ.Push(struct{}{})
-	})
-	pe.host.LeftEP.Handle(driver.VecBarrierEnd, func() {
-		pe.stats.Interrupts++
-		pe.endQ.Push(struct{}{})
-	})
-	pe.host.RightEP.Handle(driver.VecBarrierStart, func() {
-		pe.stats.Interrupts++
-		pe.startQL.Push(struct{}{})
-	})
-	pe.host.RightEP.Handle(driver.VecBarrierEnd, func() {
-		pe.stats.Interrupts++
-		pe.endQL.Push(struct{}{})
-	})
-	s.GoDaemon(fmt.Sprintf("shmem-svc:%d", pe.id), pe.serve)
-	s.GoDaemon(fmt.Sprintf("shmem-fwd:%d", pe.id), pe.forward)
 }
 
 // Launch spawns one application process per PE running body. Call
@@ -413,6 +315,7 @@ func (pe *PE) reset() {
 	pe.heap.Reset()
 	pe.finalized = false
 	pe.barrierEpoch = 0
+	pe.syncEpoch = 0
 	clear(pe.ctl)
 	clear(pe.pSyncCounts)
 	pe.nextTag = 0
@@ -421,15 +324,7 @@ func (pe *PE) reset() {
 	pe.contexts = pe.contexts[:0]
 	pe.nextCtxID = 0
 	pe.stats = Stats{}
-	if tx, ok := pe.txLeftS.(*driver.PipeTx); ok {
-		tx.Reset()
-	}
-	if tx, ok := pe.txRightS.(*driver.PipeTx); ok {
-		tx.Reset()
-	}
-	for _, rx := range pe.rxByPort {
-		rx.Reset()
-	}
+	pe.link.Reset()
 }
 
 // PEs returns the world's processing elements in Id order.
@@ -442,7 +337,7 @@ func (w *World) StatsReport() string {
 	fmt.Fprintf(&b, "%-4s %8s %10s %8s %10s %8s %8s %6s %9s %10s\n",
 		"pe", "puts", "put-bytes", "gets", "get-bytes", "chunks", "fwd", "amos", "barriers", "interrupts")
 	for _, pe := range w.pes {
-		s := pe.stats
+		s := pe.Stats()
 		fmt.Fprintf(&b, "%-4d %8d %10d %8d %10d %8d %8d %6d %9d %10d\n",
 			pe.id, s.Puts, s.PutBytes, s.Gets, s.GetBytes,
 			s.ChunksSent, s.ChunksForwarded, s.AMOs, s.Barriers, s.Interrupts)
@@ -450,14 +345,10 @@ func (w *World) StatsReport() string {
 	return b.String()
 }
 
-// initPE is shmem_init: the boot exchange plus a barrier so no PE
-// proceeds before every runtime is reachable.
+// initPE is shmem_init: the fabric's boot exchange plus a barrier so no
+// PE proceeds before every runtime is reachable.
 func (pe *PE) initPE(p *sim.Proc) {
-	left, right := pe.host.Boot(p)
-	if left != pe.host.LeftNeighbor() || right != pe.host.RightNeighbor() {
-		panic(fmt.Sprintf("core: pe %d discovered neighbours (%d, %d), topology says (%d, %d)",
-			pe.id, left, right, pe.host.LeftNeighbor(), pe.host.RightNeighbor()))
-	}
+	pe.link.Boot(p)
 	pe.initMatchTable(p)
 	pe.BarrierAll(p)
 }
@@ -471,8 +362,15 @@ func (pe *PE) NumPEs() int { return pe.world.Cluster.N() }
 // Mode returns the PE's data-movement mode.
 func (pe *PE) Mode() driver.Mode { return pe.mode }
 
-// Stats returns a copy of the PE's activity counters.
-func (pe *PE) Stats() Stats { return pe.stats }
+// Stats returns a copy of the PE's activity counters, merged with the
+// fabric-level counters its link accumulated on the PE's behalf.
+func (pe *PE) Stats() Stats {
+	s := pe.stats
+	ls := pe.link.Stats()
+	s.Interrupts = ls.Interrupts
+	s.ChunksForwarded = ls.ChunksForwarded
+	return s
+}
 
 // GlobalExitError reports that a PE terminated the whole job with
 // shmem_global_exit.
@@ -513,29 +411,6 @@ func (pe *PE) checkPeer(target int) {
 	if target < 0 || target >= pe.NumPEs() {
 		panic(fmt.Sprintf("core: pe %d addressed nonexistent PE %d", pe.id, target))
 	}
-}
-
-// getBuf returns a staging buffer of at least n bytes from the pool.
-func (pe *PE) getBuf(n int) []byte {
-	if last := len(pe.bufPool) - 1; last >= 0 {
-		b := pe.bufPool[last]
-		pe.bufPool = pe.bufPool[:last]
-		if cap(b) >= n {
-			return b[:n]
-		}
-	}
-	if n < pe.par.BypassChunk {
-		return make([]byte, n, pe.par.BypassChunk)
-	}
-	return make([]byte, n)
-}
-
-// putBuf returns a staging buffer to the pool.
-func (pe *PE) putBuf(b []byte) {
-	if cap(b) == 0 {
-		return
-	}
-	pe.bufPool = append(pe.bufPool, b[:0])
 }
 
 // newTag mints a fresh request tag.

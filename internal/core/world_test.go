@@ -48,15 +48,24 @@ func TestInitAndIdentity(t *testing.T) {
 	}
 }
 
-func TestWorldRequiresRing(t *testing.T) {
-	s := sim.New()
-	c := fabric.NewPair(s, model.Default())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewWorld accepted a non-ring cluster")
-		}
-	}()
-	NewWorld(c, Options{})
+func TestRingOnlyOptionsRejectedOffRing(t *testing.T) {
+	// Pair clusters are full worlds now, but the pipelined link protocol
+	// and shortest-arc routing exist only on the ring.
+	for _, opts := range []Options{{Pipeline: 4}, {Routing: RouteShortest}} {
+		func() {
+			s := sim.New()
+			c, err := fabric.NewPair(s, model.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewWorld accepted %+v on a pair cluster", opts)
+				}
+			}()
+			NewWorld(c, opts)
+		}()
+	}
 }
 
 func TestMallocSymmetricOffsets(t *testing.T) {

@@ -1,7 +1,10 @@
-// Package fabric assembles simulated hosts into the paper's switchless
-// interconnect topologies: the N-host ring (each host carries two NTB
-// adapters, cabled to its neighbours) and the two-host independent pair
-// used as the Fig 8 baseline.
+// Package fabric assembles simulated hosts into interconnect topologies
+// and exposes them to the runtime through the Link backend interface
+// (link.go): the paper's switchless N-host NTB ring (each host carries
+// two NTB adapters, cabled to its neighbours), the two-host independent
+// pair used as the Fig 8 baseline, a modelled PCIe switch with true P2P
+// routing through a shared switch core, and a CXL.mem-style coherent
+// mapped window.
 package fabric
 
 import (
@@ -16,7 +19,9 @@ import (
 
 // Host is one computing node: a root complex, up to two NTB adapters
 // (left cables toward hostID-1, right toward hostID+1), and the driver
-// endpoints and transmit channels over them.
+// endpoints and transmit channels over them. On the switch fabric the
+// two ring sides stay empty and the host instead carries one mesh port
+// per peer.
 type Host struct {
 	ID int
 	RC *pcie.Server
@@ -24,6 +29,12 @@ type Host struct {
 	Left, Right     *ntb.Port         // nil when the side is not cabled
 	LeftEP, RightEP *driver.Endpoint  // nil when the side is not cabled
 	TxLeft, TxRight *driver.TxChannel // nil when the side is not cabled
+
+	// Switch-fabric mesh: per-peer ports/endpoints/channels indexed by
+	// peer host Id (the self slot is nil). Nil on other fabrics.
+	Mesh   []*ntb.Port
+	MeshEP []*driver.Endpoint
+	MeshTx []*driver.TxChannel
 
 	cluster *Cluster
 }
@@ -35,7 +46,8 @@ type Cluster struct {
 	Par   *model.Params // reset: keep; snap: keep — construction identity
 	Net   *pcie.Network
 	Hosts []*Host
-	ring  bool // reset: keep — topology identity
+	kind  Kind      // reset: keep — topology identity
+	cxl   *cxlState // reset: keep; snap: keep — shared CXL fabric state holds no mutable registers
 }
 
 // MaxHosts is the largest ring NewRing accepts, bounded by the driver's
@@ -55,8 +67,7 @@ func NewRing(s *sim.Simulator, par *model.Params, n int) (*Cluster, error) {
 	if n > MaxHosts {
 		return nil, fmt.Errorf("fabric: ring of %d hosts exceeds the %d-host limit of the driver's Info record", n, MaxHosts)
 	}
-	c := newCluster(s, par, n)
-	c.ring = true
+	c := newCluster(s, par, n, KindNTBRing)
 	for i, h := range c.Hosts {
 		next := c.Hosts[(i+1)%n]
 		h.Right = ntb.NewPort(fmt.Sprintf("h%d.right", i), s, c.Net, par, h.RC)
@@ -75,9 +86,11 @@ func NewRing(s *sim.Simulator, par *model.Params, n int) (*Cluster, error) {
 
 // NewPair builds the Fig 8 "independent" baseline: two hosts joined by a
 // single NTB link (host 0's right adapter to host 1's left adapter), with
-// the other adapter slots empty.
-func NewPair(s *sim.Simulator, par *model.Params) *Cluster {
-	c := newCluster(s, par, 2)
+// the other adapter slots empty. The error return exists for signature
+// consistency with the other constructors (pair building itself cannot
+// fail; bad profiles panic, as everywhere).
+func NewPair(s *sim.Simulator, par *model.Params) (*Cluster, error) {
+	c := newCluster(s, par, 2, KindNTBPair)
 	a, b := c.Hosts[0], c.Hosts[1]
 	a.Right = ntb.NewPort("h0.right", s, c.Net, par, a.RC)
 	b.Left = ntb.NewPort("h1.left", s, c.Net, par, b.RC)
@@ -86,14 +99,14 @@ func NewPair(s *sim.Simulator, par *model.Params) *Cluster {
 	ntb.Connect(a.Right, b.Left)
 	a.finishSides(par)
 	b.finishSides(par)
-	return c
+	return c, nil
 }
 
-func newCluster(s *sim.Simulator, par *model.Params, n int) *Cluster {
+func newCluster(s *sim.Simulator, par *model.Params, n int, kind Kind) *Cluster {
 	if err := par.Validate(); err != nil {
 		panic(fmt.Sprintf("fabric: %v", err))
 	}
-	c := &Cluster{Sim: s, Par: par, Net: pcie.NewNetwork(s)}
+	c := &Cluster{Sim: s, Par: par, Net: pcie.NewNetwork(s), kind: kind}
 	for i := 0; i < n; i++ {
 		h := &Host{
 			ID:      i,
@@ -146,6 +159,19 @@ func (c *Cluster) Reset() {
 		if h.TxRight != nil {
 			h.TxRight.Reset()
 		}
+		for _, port := range h.Mesh {
+			if port != nil {
+				port.Reset()
+			}
+		}
+		for _, tx := range h.MeshTx {
+			if tx != nil {
+				tx.Reset()
+			}
+		}
+	}
+	if c.cxl != nil {
+		c.cxl.Reset()
 	}
 	c.Net.Reset()
 	c.Sim.Reset()
@@ -165,7 +191,10 @@ func (c *Cluster) CutLink(i int) {
 func (c *Cluster) N() int { return len(c.Hosts) }
 
 // Ring reports whether the cluster is a full ring (every side cabled).
-func (c *Cluster) Ring() bool { return c.ring }
+func (c *Cluster) Ring() bool { return c.kind == KindNTBRing }
+
+// Kind reports which fabric backend the cluster was built for.
+func (c *Cluster) Kind() Kind { return c.kind }
 
 // RightNeighbor returns the host Id one hop rightward.
 func (h *Host) RightNeighbor() int { return (h.ID + 1) % h.cluster.N() }

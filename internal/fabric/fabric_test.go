@@ -49,7 +49,10 @@ func TestRingSizeValidation(t *testing.T) {
 
 func TestPairWiring(t *testing.T) {
 	s := sim.New()
-	c := NewPair(s, model.Default())
+	c, err := NewPair(s, model.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, b := c.Hosts[0], c.Hosts[1]
 	if a.Right == nil || b.Left == nil {
 		t.Fatal("pair link missing")
@@ -118,7 +121,10 @@ func TestBootExchangesIDs(t *testing.T) {
 
 func TestBootOnPairReportsMissingSides(t *testing.T) {
 	s := sim.New()
-	c := NewPair(s, model.Default())
+	c, err := NewPair(s, model.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var l0, r0, l1, r1 int
 	s.Go("b0", func(p *sim.Proc) { l0, r0 = c.Hosts[0].Boot(p) })
 	s.Go("b1", func(p *sim.Proc) { l1, r1 = c.Hosts[1].Boot(p) })

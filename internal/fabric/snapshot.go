@@ -10,18 +10,23 @@ import (
 )
 
 // ClusterSnapshot is a frozen image of a quiescent cluster's device
-// state: the kernel clock plus, per host, both NTB port images and both
-// stop-and-wait channel counters. Pipelined channel state is owned by
-// the core layer (which installed the pipes) and snapshotted there.
+// state: the kernel clock plus, per host, the NTB port images and
+// stop-and-wait channel counters of every cabled side — ring/pair sides
+// and, on the switch fabric, the per-peer mesh ports. Pipelined channel
+// state is owned by the links (which installed the pipes) and
+// snapshotted there; the CXL fabric has no device registers to capture.
 type ClusterSnapshot struct {
 	n    int
-	ring bool
+	kind Kind
 	sim  sim.Snapshot
 	net  pcie.NetSnapshot
 	// Per-host device images; entries are nil/zero when the side is not
 	// cabled, mirroring Host.
 	left, right []*ntb.PortSnapshot
 	txL, txR    []driver.TxSnapshot
+	// Switch-fabric mesh images, indexed [host][peer]; nil off-switch.
+	mesh   [][]*ntb.PortSnapshot
+	meshTx [][]driver.TxSnapshot
 }
 
 // Time returns the virtual time the snapshot was captured at.
@@ -34,7 +39,7 @@ func (s *ClusterSnapshot) Time() sim.Time { return s.sim.Now() }
 func (c *Cluster) Snapshot() *ClusterSnapshot {
 	s := &ClusterSnapshot{
 		n:     c.N(),
-		ring:  c.ring,
+		kind:  c.kind,
 		sim:   c.Sim.Snapshot(),
 		net:   c.Net.Snapshot(),
 		left:  make([]*ntb.PortSnapshot, c.N()),
@@ -52,6 +57,20 @@ func (c *Cluster) Snapshot() *ClusterSnapshot {
 			s.txR[i] = h.TxRight.Snapshot()
 		}
 	}
+	if c.kind == KindPCIeSwitch {
+		s.mesh = make([][]*ntb.PortSnapshot, c.N())
+		s.meshTx = make([][]driver.TxSnapshot, c.N())
+		for i, h := range c.Hosts {
+			s.mesh[i] = make([]*ntb.PortSnapshot, c.N())
+			s.meshTx[i] = make([]driver.TxSnapshot, c.N())
+			for j, port := range h.Mesh {
+				if port != nil {
+					s.mesh[i][j] = port.Snapshot()
+					s.meshTx[i][j] = h.MeshTx[j].Snapshot()
+				}
+			}
+		}
+	}
 	return s
 }
 
@@ -59,9 +78,9 @@ func (c *Cluster) Snapshot() *ClusterSnapshot {
 // topology, leaving it positioned at the captured virtual time with
 // every device register and window extent as captured.
 func (c *Cluster) Restore(s *ClusterSnapshot) {
-	if c.N() != s.n || c.ring != s.ring {
-		panic(fmt.Sprintf("fabric: restore of a %d-host (ring=%v) cluster from a %d-host (ring=%v) snapshot",
-			c.N(), c.ring, s.n, s.ring))
+	if c.N() != s.n || c.kind != s.kind {
+		panic(fmt.Sprintf("fabric: restore of a %d-host %s cluster from a %d-host %s snapshot",
+			c.N(), c.kind, s.n, s.kind))
 	}
 	for i, h := range c.Hosts {
 		if (h.Left != nil) != (s.left[i] != nil) || (h.Right != nil) != (s.right[i] != nil) {
@@ -74,6 +93,16 @@ func (c *Cluster) Restore(s *ClusterSnapshot) {
 		if h.Right != nil {
 			h.Right.Restore(s.right[i])
 			h.TxRight.Restore(s.txR[i])
+		}
+	}
+	if s.mesh != nil {
+		for i, h := range c.Hosts {
+			for j, port := range h.Mesh {
+				if port != nil {
+					port.Restore(s.mesh[i][j])
+					h.MeshTx[j].Restore(s.meshTx[i][j])
+				}
+			}
 		}
 	}
 	c.Net.Restore(s.net)

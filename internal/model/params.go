@@ -141,6 +141,22 @@ type Params struct {
 	// DoorbellBits is the number of doorbell interrupt bits (sixteen on
 	// the PEX parts).
 	DoorbellBits int
+
+	// ---- Alternative fabrics ----
+
+	// SwitchCoreBW is the aggregate bandwidth of the PCIe switch fabric's
+	// core on the pcie-switch backend: every host pair's P2P traffic
+	// shares this one stage, which is what distinguishes a switched
+	// fabric's contention profile from the ring's per-cable wires.
+	SwitchCoreBW float64
+	// CXLWindowBW is the per-transfer data bandwidth of the CXL.mem
+	// mapped window on the cxl backend (coherent load/store traffic
+	// through the shared fabric).
+	CXLWindowBW float64
+	// CXLLatency is the fixed per-operation access latency of the CXL
+	// window: the coherence round trip a store pays before its data
+	// streams, far below a doorbell interrupt plus thread wake-up.
+	CXLLatency sim.Duration
 }
 
 // Default returns the calibrated profile of the paper's testbed: PCIe Gen3
@@ -186,6 +202,10 @@ func Default() *Params {
 
 		SpadCount:    8,
 		DoorbellBits: 16,
+
+		SwitchCoreBW: 10.0e9,
+		CXLWindowBW:  11.0e9,
+		CXLLatency:   600 * sim.Nanosecond,
 	}
 }
 
@@ -263,6 +283,12 @@ func (p *Params) Validate() error {
 		return errf("protocol needs at least 6 scratchpads, got %d", p.SpadCount)
 	case p.DoorbellBits < 4:
 		return errf("protocol needs at least 4 doorbell bits, got %d", p.DoorbellBits)
+	case p.SwitchCoreBW <= 0:
+		return errf("SwitchCoreBW must be positive")
+	case p.CXLWindowBW <= 0:
+		return errf("CXLWindowBW must be positive")
+	case p.CXLLatency <= 0:
+		return errf("CXLLatency must be positive")
 	}
 	return nil
 }

@@ -133,6 +133,25 @@ func NewPort(name string, s *sim.Simulator, net *pcie.Network, par *model.Params
 // cable, the peer's root complex) is interned here, once, so per-transfer
 // pricing never rebuilds the server list.
 func Connect(a, b *Port) {
+	checkCable(a, b)
+	wire := pcie.NewServer("wire:"+a.name+"<->"+b.name, a.par.EffectiveWireBW())
+	cable(a, b, wire)
+	a.wire, b.wire = wire, wire
+}
+
+// ConnectVia joins two ports whose traffic crosses the given chain of
+// shared flow-network servers instead of a dedicated cable — how a PCIe
+// switch presents: each direction's route runs local root complex, the
+// via chain (in path order), then the peer's root complex. The servers
+// may be shared with other port pairs, which is the point: contention at
+// a common switch core prices itself in the flow network.
+func ConnectVia(a, b *Port, via ...*pcie.Server) {
+	checkCable(a, b)
+	cable(a, b, via...)
+}
+
+// checkCable validates that two ports can be joined.
+func checkCable(a, b *Port) {
 	if a.peer != nil || b.peer != nil {
 		panic("ntb: port already connected")
 	}
@@ -142,11 +161,24 @@ func Connect(a, b *Port) {
 	if a.net != b.net {
 		panic("ntb: ports priced on different flow networks")
 	}
-	wire := pcie.NewServer("wire:"+a.name+"<->"+b.name, a.par.EffectiveWireBW())
+}
+
+// cable peers two checked ports and interns both directions' routes
+// through the via chain.
+func cable(a, b *Port, via ...*pcie.Server) {
 	a.peer, b.peer = b, a
-	a.wire, b.wire = wire, wire
-	a.route = a.net.NewRoute(a.localRC, wire, b.localRC)
-	b.route = b.net.NewRoute(b.localRC, wire, a.localRC)
+	fwd := make([]*pcie.Server, 0, len(via)+2)
+	fwd = append(fwd, a.localRC)
+	fwd = append(fwd, via...)
+	fwd = append(fwd, b.localRC)
+	a.route = a.net.NewRoute(fwd...)
+	rev := make([]*pcie.Server, 0, len(via)+2)
+	rev = append(rev, b.localRC)
+	for i := len(via) - 1; i >= 0; i-- {
+		rev = append(rev, via[i])
+	}
+	rev = append(rev, a.localRC)
+	b.route = b.net.NewRoute(rev...)
 	down := new(bool)
 	a.linkDown, b.linkDown = down, down
 }

@@ -55,6 +55,8 @@ type (
 	BarrierAlgo = core.BarrierAlgo
 	// Routing selects the ring data-steering policy.
 	Routing = core.Routing
+	// FabricKind selects the interconnect backend.
+	FabricKind = fabric.Kind
 	// SignalOp selects how PutSignal updates its signal word.
 	SignalOp = core.SignalOp
 	// ReduceOp names a reduction operator.
@@ -90,6 +92,23 @@ const (
 	RouteRightward = core.RouteRightward
 	RouteShortest  = core.RouteShortest
 )
+
+// Fabric backends: the paper's switchless NTB ring (default), the
+// two-host independent NTB pair, a modelled PCIe switch with true P2P
+// routing, and a CXL.mem-style coherent mapped window.
+const (
+	FabricNTBRing    = fabric.KindNTBRing
+	FabricNTBPair    = fabric.KindNTBPair
+	FabricPCIeSwitch = fabric.KindPCIeSwitch
+	FabricCXL        = fabric.KindCXL
+)
+
+// ParseFabric maps a -fabric flag value ("ntb-ring", "ntb-pair",
+// "pcie-switch", "cxl", and aliases) to a FabricKind.
+func ParseFabric(s string) (FabricKind, error) { return fabric.ParseKind(s) }
+
+// Fabrics lists every backend, in flag-documentation order.
+func Fabrics() []FabricKind { return fabric.Kinds() }
 
 // Signal operations for PutSignal.
 const (
@@ -152,9 +171,12 @@ func DefaultParams() *Params { return model.Default() }
 
 // Config describes an OpenSHMEM job.
 type Config struct {
-	// Hosts is the ring size (one PE per host, as in the paper). Must be
-	// at least 2.
+	// Hosts is the cluster size (one PE per host, as in the paper). Must
+	// be at least 2; per-fabric limits apply (a pair is exactly 2).
 	Hosts int
+	// Fabric selects the interconnect backend (default: the paper's
+	// switchless NTB ring).
+	Fabric FabricKind
 	// Mode selects DMA (default) or memcpy transfers.
 	Mode Mode
 	// Barrier selects the barrier algorithm (default: the paper's ring
@@ -186,7 +208,7 @@ func NewJob(cfg Config) *Job {
 		par = model.Default()
 	}
 	s := sim.New()
-	cluster, err := fabric.NewRing(s, par, cfg.Hosts)
+	cluster, err := fabric.New(fabric.Config{Sim: s, Par: par, Hosts: cfg.Hosts, Kind: cfg.Fabric})
 	if err != nil {
 		panic("ntbshmem: " + err.Error())
 	}
