@@ -47,7 +47,7 @@ bench-smoke:
 		./internal/core ./internal/pcie | tee bench_gate.out
 	$(GO) test -run xxx -bench 'BenchmarkSimEventThroughput$$|BenchmarkLadderQueueChurn$$' -benchmem -benchtime 2000x \
 		./internal/sim | tee -a bench_gate.out
-	$(GO) test -run xxx -bench 'BenchmarkScaleWorld256$$' -benchmem -benchtime 10x \
+	$(GO) test -run xxx -bench 'BenchmarkScaleWorld256$$|BenchmarkShardedWorld256$$' -benchmem -benchtime 10x \
 		./internal/bench | tee -a bench_gate.out
 	$(GO) test -run xxx -bench 'BenchmarkSwitchWorld$$' -benchmem -benchtime 100x \
 		./internal/bench | tee -a bench_gate.out

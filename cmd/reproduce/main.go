@@ -52,6 +52,25 @@ type scalePoint struct {
 	NsPerEvent    float64 `json:"ns_per_event"`
 }
 
+// shardingResult records the conservative-DES sharding measurement: the
+// 256-PE scaling workload at one shard and at Shards shards
+// (PROTOCOL.md §14). The workload is inside the sharding's exactness
+// domain, so VirtualEndNs is required to be identical between the two
+// modes; only the wall-clock throughputs differ. On a multi-core host
+// the sharded mode's events/s should exceed the single-shard mode's;
+// with GOMAXPROCS=1 the modes tie (minus coordination overhead) and the
+// speedup column documents that the run had no cores to spend.
+type shardingResult struct {
+	PEs              int     `json:"pes"`
+	Shards           int     `json:"shards"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	WorldsPerMode    int     `json:"worlds_per_mode"`
+	VirtualEndNs     int64   `json:"virtual_end_ns"`
+	EventsPerSecOne  float64 `json:"events_per_s_1shard"`
+	EventsPerSecMany float64 `json:"events_per_s_sharded"`
+	Speedup          float64 `json:"speedup"`
+}
+
 // forkABResult is the interleaved fork on/off A/B over the prefix-heavy
 // probe workload: the snapshot-fork analogue of PR 3's pool A/B.
 type forkABResult struct {
@@ -68,10 +87,13 @@ type forkABResult struct {
 // by -bench-json (BENCH.json in CI's bench-smoke target).
 type benchReport struct {
 	Parallelism int            `json:"parallelism"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
 	Scheduler   string         `json:"scheduler"`
 	WorldPool   bool           `json:"world_pool"`
 	WorldFork   bool           `json:"world_fork"`
 	Figures     []figureMetric `json:"figures"`
+	// Sharding is the conservative-DES shard A/B (-shard-ab).
+	Sharding *shardingResult `json:"sharding,omitempty"`
 	// Scaling is the ring-size sweep (-scaling): engine throughput vs PE
 	// count under the selected scheduler, plus a heap-scheduler baseline
 	// at the smallest ring for per-event comparison.
@@ -113,13 +135,24 @@ func main() {
 	benchInput := flag.String("bench-input", "", "`go test -bench -benchmem` output to fold into the -bench-json benchmarks section")
 	scaling := flag.Bool("scaling", true, "run the ring-size scaling sweep (events/s and worlds/s vs PE count)")
 	scalePEs := flag.String("scale-pes", "3,16,64,256,1024", "comma-separated ring sizes for the scaling sweep")
-	scaleReps := flag.Int("scale-reps", 2, "worlds per scaling point (first warms the pool)")
+	scaleReps := flag.Int("scale-reps", 2, "measured worlds per scaling point (an unmeasured warm-up world per point precedes them)")
+	shards := flag.Int("shards", 1, "conservative-DES shards per world for the whole run (1 = single simulator; only worlds of ≥16 hosts on point-to-point fabrics shard)")
+	shardAB := flag.Int("shard-ab", 4, "measure the 256-PE scaling workload at 1 vs N shards and record it in the bench report (0 skips)")
 	schedName := flag.String("scheduler", "ladder", "event scheduler for all simulation worlds: ladder or heap")
 	fabricList := flag.String("fabric", "ntb-ring,pcie-switch,cxl", "comma-separated fabric backends for the cross-fabric figure (E6): ntb-ring, ntb-pair, pcie-switch, cxl")
 	flag.Parse()
 	bench.SetParallelism(*par)
 	bench.SetWorldPool(*worldPool)
 	bench.SetWorldFork(*fork)
+	if err := bench.ValidateShards(*shards, fabric.KindNTBRing); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(2)
+	}
+	if *shardAB == 1 || *shardAB < 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: -shard-ab=%d: need at least 2 shards for an A/B (or 0 to skip)\n", *shardAB)
+		os.Exit(2)
+	}
+	bench.SetShards(*shards)
 	sched, err := sim.ParseScheduler(*schedName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
@@ -205,6 +238,7 @@ func main() {
 
 	report := benchReport{
 		Parallelism: bench.Parallelism(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Scheduler:   sched.String(),
 		WorldPool:   bench.WorldPoolEnabled(),
 		WorldFork:   bench.WorldForkEnabled(),
@@ -260,6 +294,11 @@ func main() {
 
 	if *scaling {
 		report.Scaling = runScaling(mp, pes, *scaleReps, sched)
+	}
+
+	if *shardAB > 0 {
+		report.Sharding = runSharding(mp, *shardAB, *scaleReps)
+		bench.SetShards(*shards) // the A/B toggles the knob; restore the run's setting
 	}
 
 	if *forkAB > 0 {
@@ -380,6 +419,13 @@ func runScaling(mp *model.Params, pes []int, reps int, sched sim.SchedulerKind) 
 		"pes", "sched", "worlds", "virtual events", "wall s", "events/s", "worlds/s", "ns/event")
 	measure := func(n int, kind sim.SchedulerKind) scalePoint {
 		sim.SetDefaultScheduler(kind)
+		// One unmeasured warm-up world per point: it builds this shape's
+		// prefix snapshot and warms the world pool before the counters
+		// are sampled, so every point records exactly reps worlds. (The
+		// ladder points used to record reps or reps+1 depending on
+		// whether an earlier figure happened to have built the same
+		// shape — an inconsistency archived into BENCH.json.)
+		bench.ScaleWorkload(mp, n, 4096)
 		w0, e0 := bench.WorldsSimulated(), bench.VirtualEvents()
 		t0 := time.Now()
 		for r := 0; r < reps; r++ {
@@ -412,6 +458,48 @@ func runScaling(mp *model.Params, pes []int, reps int, sched sim.SchedulerKind) 
 	sim.SetDefaultScheduler(sched)
 	fmt.Println()
 	return points
+}
+
+// runSharding measures the conservative-DES shard A/B: the 256-PE
+// scaling workload at one shard and at shards shards, reps measured
+// worlds each (plus one unmeasured warm-up per mode). The virtual end
+// time is the determinism witness — the workload is inside the
+// sharding's exactness domain (PROTOCOL.md §14), so a divergence is a
+// correctness failure, reported loudly rather than archived quietly.
+func runSharding(mp *model.Params, shards, reps int) *shardingResult {
+	const n, putBytes = 256, 4096
+	res := &shardingResult{
+		PEs: n, Shards: shards,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		WorldsPerMode: reps,
+	}
+	measure := func(s int) (float64, sim.Time) {
+		bench.SetShards(s)
+		bench.ScaleWorkload(mp, n, putBytes) // unmeasured warm-up for this shard count
+		e0 := bench.VirtualEvents()
+		t0 := time.Now()
+		var end sim.Time
+		for r := 0; r < reps; r++ {
+			end = bench.ScaleWorkloadTime(mp, n, putBytes)
+		}
+		wall := time.Since(t0).Seconds()
+		return float64(bench.VirtualEvents()-e0) / wall, end
+	}
+	one, endOne := measure(1)
+	many, endMany := measure(shards)
+	res.EventsPerSecOne, res.EventsPerSecMany = one, many
+	res.VirtualEndNs = int64(endOne)
+	res.Speedup = many / one
+	fmt.Printf("[shard] %d-PE scaling workload, %d world(s) per mode, gomaxprocs=%d\n", n, reps, res.GoMaxProcs)
+	fmt.Printf("[shard] 1 shard: %.0f events/s; %d shards: %.0f events/s — speedup %.2fx\n",
+		one, shards, many, res.Speedup)
+	if endOne != endMany {
+		fmt.Printf("[shard] DETERMINISM FAILURE: virtual end %v at 1 shard, %v at %d shards\n",
+			endOne, endMany, shards)
+	} else {
+		fmt.Printf("[shard] virtual end identical across modes: %v\n\n", endOne)
+	}
+	return res
 }
 
 // parseFabrics validates the -fabric list at the command layer so a

@@ -7,13 +7,20 @@
 // Usage:
 //
 //	scaleperf [-pes 3,16,64,256,1024] [-reps N] [-scheduler ladder|heap] [-put-bytes N]
-//	          [-fabric ntb-ring|pcie-switch|cxl]
+//	          [-fabric ntb-ring|pcie-switch|cxl] [-shards N]
+//
+// -shards N splits each world of at least 16 hosts across N
+// conservative-DES shards (PROTOCOL.md §14). The printed "virtual end"
+// column is each world's final virtual time: the workload is inside the
+// sharding's exactness domain, so the column is identical at every
+// -shards setting — only the wall-clock columns may change.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +37,7 @@ func main() {
 	schedName := flag.String("scheduler", "ladder", "event scheduler: ladder or heap")
 	putBytes := flag.Int("put-bytes", 4096, "payload each PE puts to its right neighbour")
 	fabricName := flag.String("fabric", "ntb-ring", "fabric backend to scale over: ntb-ring, pcie-switch, or cxl")
+	shards := flag.Int("shards", 1, "conservative-DES shards per world (1 = single simulator; worlds of ≥16 hosts on point-to-point fabrics split across shards)")
 	flag.Parse()
 
 	kind, err := fabric.ParseKind(*fabricName)
@@ -55,23 +63,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scaleperf: -put-bytes=%d: need a positive payload\n", *putBytes)
 		os.Exit(2)
 	}
+	if err := bench.ValidateShards(*shards, kind); err != nil {
+		fmt.Fprintln(os.Stderr, "scaleperf:", err)
+		os.Exit(2)
+	}
 	sim.SetDefaultScheduler(sched)
+	bench.SetShards(*shards)
 	bench.SetFabric(kind)
 
 	par := model.Default()
-	fmt.Printf("%s scaling sweep: scheduler=%s reps=%d put-bytes=%d\n\n", kind, sched, *reps, *putBytes)
-	fmt.Printf("%6s %8s %16s %9s %14s %10s %10s\n",
-		"pes", "worlds", "virtual events", "wall s", "events/s", "worlds/s", "ns/event")
+	fmt.Printf("%s scaling sweep: scheduler=%s reps=%d put-bytes=%d shards=%d gomaxprocs=%d\n\n",
+		kind, sched, *reps, *putBytes, *shards, runtime.GOMAXPROCS(0))
+	fmt.Printf("%6s %8s %16s %15s %9s %14s %10s %10s\n",
+		"pes", "worlds", "virtual events", "virtual end", "wall s", "events/s", "worlds/s", "ns/event")
 	for _, n := range pes {
 		w0, e0 := bench.WorldsSimulated(), bench.VirtualEvents()
 		t0 := time.Now()
+		var end sim.Time
 		for r := 0; r < *reps; r++ {
-			bench.ScaleWorkload(par, n, *putBytes)
+			end = bench.ScaleWorkloadTime(par, n, *putBytes)
 		}
 		wall := time.Since(t0).Seconds()
 		worlds, events := bench.WorldsSimulated()-w0, bench.VirtualEvents()-e0
-		fmt.Printf("%6d %8d %16d %9.3f %14.0f %10.2f %10.1f\n",
-			n, worlds, events, wall,
+		fmt.Printf("%6d %8d %16d %15v %9.3f %14.0f %10.2f %10.1f\n",
+			n, worlds, events, end, wall,
 			float64(events)/wall, float64(worlds)/wall, wall*1e9/float64(events))
 	}
 	bench.DrainWorldPool()

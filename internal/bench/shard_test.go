@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/model"
+)
+
+// Bench-layer sharding policy and throughput. The op-level equivalence
+// proofs live in internal/core/sharddiff_test.go; here the concern is
+// the knob plumbing: which worlds actually shard, and that the scaling
+// workload's virtual timeline is shard-invariant when driven through
+// the pool exactly as cmd/scaleperf drives it.
+
+func TestEffectiveShardsPolicy(t *testing.T) {
+	prev := Shards()
+	prevFab := Fabric()
+	defer func() { SetShards(prev); SetFabric(prevFab) }()
+
+	SetFabric(fabric.KindNTBRing)
+	SetShards(4)
+	if got := effectiveShards(8, core.Options{}); got != 1 {
+		t.Errorf("8-host figure world sharded to %d; paper-scale worlds must stay on one simulator", got)
+	}
+	if got := effectiveShards(256, core.Options{}); got != 4 {
+		t.Errorf("256-host world got %d shards, want 4", got)
+	}
+	if got := effectiveShards(16, core.Options{Pipeline: 4}); got != 1 {
+		t.Errorf("pipelined-protocol world sharded to %d; pipeline timing needs one simulator", got)
+	}
+	SetShards(64)
+	if got := effectiveShards(16, core.Options{}); got != 16 {
+		t.Errorf("16-host world got %d shards, want clamp to 16", got)
+	}
+	SetFabric(fabric.KindPCIeSwitch)
+	if got := effectiveShards(256, core.Options{}); got != 1 {
+		t.Errorf("switch-fabric world sharded to %d; the shared fabric core cannot shard", got)
+	}
+	SetFabric(fabric.KindNTBRing)
+	SetShards(1)
+	if got := effectiveShards(256, core.Options{}); got != 1 {
+		t.Errorf("unrequested sharding: got %d shards", got)
+	}
+}
+
+func TestValidateShards(t *testing.T) {
+	if err := ValidateShards(1, fabric.KindCXL); err != nil {
+		t.Errorf("shards=1 on cxl: %v", err)
+	}
+	if err := ValidateShards(4, fabric.KindNTBRing); err != nil {
+		t.Errorf("shards=4 on ring: %v", err)
+	}
+	if err := ValidateShards(0, fabric.KindNTBRing); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if err := ValidateShards(2, fabric.KindPCIeSwitch); err == nil {
+		t.Error("shards=2 on pcie-switch accepted")
+	}
+}
+
+// TestScaleWorkloadShardInvariant drives the scaling workload through
+// the full bench path (pool, fingerprints, replay fallback) at several
+// shard counts and requires the identical final virtual time.
+func TestScaleWorkloadShardInvariant(t *testing.T) {
+	prev := Shards()
+	defer func() { SetShards(prev); DrainWorldPool() }()
+	DrainWorldPool()
+	par := model.Default()
+	SetShards(1)
+	ref := ScaleWorkloadTime(par, 32, 2048)
+	if ref == 0 {
+		t.Fatal("scaling workload reported virtual end 0")
+	}
+	for _, s := range []int{2, 4} {
+		SetShards(s)
+		if got := ScaleWorkloadTime(par, 32, 2048); got != ref {
+			t.Fatalf("virtual end at %d shards: %v, want %v (1 shard)", s, got, ref)
+		}
+	}
+}
+
+// TestShardedWorldPoolRecycling: a sharded world round-trips through
+// the pool — the second run of the same shape must be a pool hit, and
+// a different shard count must not be served the sharded world.
+func TestShardedWorldPoolRecycling(t *testing.T) {
+	prev := Shards()
+	defer func() { SetShards(prev); DrainWorldPool() }()
+	DrainWorldPool()
+	par := model.Default()
+	SetShards(2)
+	h0, _ := WorldPoolStats()
+	ScaleWorkload(par, 16, 512)
+	ScaleWorkload(par, 16, 512)
+	h1, _ := WorldPoolStats()
+	if h1-h0 < 1 {
+		t.Errorf("second sharded run missed the pool (hits delta %d)", h1-h0)
+	}
+	SetShards(1)
+	ScaleWorkload(par, 16, 512) // must build fresh, not reuse the 2-shard world
+	SetShards(4)
+	ScaleWorkload(par, 16, 512)
+}
+
+// BenchmarkShardedWorld256 is BenchmarkScaleWorld256 at 4 shards: one
+// 256-PE world recycled through the pool, its events dispatched by the
+// conservative shard group. The benchgate floor on events/s guards the
+// sharded dispatch path against order-of-magnitude regressions (floors
+// are set far below measured rates to absorb loaded CI runners; the
+// 1-vs-4-shard speedup itself is a multicore property recorded in
+// BENCH.json's sharding section, not gated here).
+func BenchmarkShardedWorld256(b *testing.B) {
+	prev := Shards()
+	defer func() { SetShards(prev); DrainWorldPool() }()
+	DrainWorldPool()
+	SetShards(4)
+	par := model.Default()
+	ScaleWorkload(par, 256, 4096) // build + pool the sharded world outside the timer
+	e0 := VirtualEvents()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScaleWorkload(par, 256, 4096)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(VirtualEvents()-e0)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Shard-differential suite: the same OpenSHMEM programs run on one
+// simulator and split across conservative-DES shards (PROTOCOL.md §14).
+// A sharded run must be deterministic at any shard count, and for
+// workloads inside the sharding's exactness domain (CPU-mode window
+// writes, doorbells, scratchpad register traffic) the virtual timeline
+// must match the single-simulator world exactly.
+
+// newShardedWorld builds an n-host world over kind split across the
+// given number of shards (1 builds the ordinary single-simulator world).
+func newShardedWorld(t *testing.T, kind fabric.Kind, n, shards int, opts Options) *World {
+	t.Helper()
+	cfg := fabric.Config{Par: model.Default(), Hosts: n, Kind: kind, Shards: shards}
+	if shards == 1 {
+		cfg.Sim = sim.New()
+	}
+	c, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatalf("building %d-host %s world with %d shards: %v", n, kind, shards, err)
+	}
+	return NewWorld(c, opts)
+}
+
+// shardTraceRun drives body on w and returns the op trace sorted into
+// the canonical (PE, Start, Op, Target, Bytes) order. On a sharded
+// world the trace hook fires concurrently from shard workers and events
+// from different shards interleave in wall order, so the raw append
+// order is not comparable; the sorted trace is (every event carries its
+// own virtual timestamps, so sorting loses nothing).
+func shardTraceRun(t *testing.T, w *World, body func(p *sim.Proc, pe *PE)) []OpEvent {
+	t.Helper()
+	var mu sync.Mutex
+	var trace []OpEvent
+	w.SetOpTrace(func(ev OpEvent) {
+		mu.Lock()
+		trace = append(trace, ev)
+		mu.Unlock()
+	})
+	if err := w.RunKeep(body); err != nil {
+		t.Fatal(err)
+	}
+	w.SetOpTrace(nil)
+	sortOps(trace)
+	return trace
+}
+
+func sortOps(tr []OpEvent) {
+	sort.Slice(tr, func(a, b int) bool {
+		if tr[a].PE != tr[b].PE {
+			return tr[a].PE < tr[b].PE
+		}
+		if tr[a].Start != tr[b].Start {
+			return tr[a].Start < tr[b].Start
+		}
+		if tr[a].Op != tr[b].Op {
+			return tr[a].Op < tr[b].Op
+		}
+		return tr[a].Target < tr[b].Target
+	})
+}
+
+// compareOps fails on the first diverging event of two sorted traces.
+func compareOps(t *testing.T, label string, got, want []OpEvent) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: trace length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: trace diverges at event %d:\n  got:  %+v\n  want: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// scaleBody is the sharding exactness-domain workload (the shape
+// bench.ScaleWorkload runs): CPU-mode neighbour puts between two
+// barriers. Pair it with Options{Mode: driver.ModeCPU}.
+func scaleBody(rounds, putBytes int) func(p *sim.Proc, pe *PE) {
+	return func(p *sim.Proc, pe *PE) {
+		sym := pe.MustMalloc(p, putBytes)
+		buf := make([]byte, putBytes)
+		for i := range buf {
+			buf[i] = byte(pe.ID() + i)
+		}
+		pe.BarrierAll(p)
+		for r := 0; r < rounds; r++ {
+			pe.PutBytes(p, (pe.ID()+1)%pe.NumPEs(), sym, buf)
+		}
+		pe.BarrierAll(p)
+	}
+}
+
+// TestShardCountInvariance: for the exactness-domain workload, the op
+// trace — every virtual start time and duration — is identical at every
+// shard count, on both shardable backends.
+func TestShardCountInvariance(t *testing.T) {
+	cases := []struct {
+		kind   fabric.Kind
+		n      int
+		shards []int
+	}{
+		{fabric.KindNTBRing, 8, []int{1, 2, 4}},
+		{fabric.KindNTBRing, 4, []int{1, 2}},
+		{fabric.KindNTBPair, 2, []int{1, 2}},
+	}
+	opts := Options{Mode: driver.ModeCPU}
+	body := scaleBody(3, 2048)
+	for _, tc := range cases {
+		var ref []OpEvent
+		for _, shards := range tc.shards {
+			w := newShardedWorld(t, tc.kind, tc.n, shards, opts)
+			tr := shardTraceRun(t, w, body)
+			w.Cluster.ShutdownSim()
+			if shards == tc.shards[0] {
+				ref = tr
+				continue
+			}
+			compareOps(t, tc.kind.String()+" shard-count invariance", tr, ref)
+		}
+	}
+}
+
+// TestShardedDeterminism: at a fixed shard count, two fresh worlds —
+// and DMA-mode worlds, whose cross-shard transfer timing is modelled
+// rather than exact — produce identical traces run-over-run.
+func TestShardedDeterminism(t *testing.T) {
+	for _, opts := range []Options{
+		{Mode: driver.ModeCPU},
+		{Mode: driver.ModeDMA},
+	} {
+		body := resetScript(17, 2, 4)
+		a := newShardedWorld(t, fabric.KindNTBRing, 6, 3, opts)
+		ta := shardTraceRun(t, a, body)
+		a.Cluster.ShutdownSim()
+		b := newShardedWorld(t, fabric.KindNTBRing, 6, 3, opts)
+		tb := shardTraceRun(t, b, body)
+		b.Cluster.ShutdownSim()
+		compareOps(t, "mode "+opts.Mode.String()+" run-over-run", tb, ta)
+		if len(ta) == 0 {
+			t.Fatalf("mode %v: empty op trace", opts.Mode)
+		}
+	}
+}
+
+// TestShardedResetRerunEquivalence: a Reset sharded world replays the
+// same body with an identical trace — the world-pool recycling
+// invariant, now across shard members.
+func TestShardedResetRerunEquivalence(t *testing.T) {
+	body := resetScript(41, 2, 5)
+	w := newShardedWorld(t, fabric.KindNTBRing, 6, 2, Options{})
+	first := shardTraceRun(t, w, body)
+	w.Reset()
+	second := shardTraceRun(t, w, body)
+	w.Cluster.ShutdownSim()
+	compareOps(t, "sharded reset-rerun", second, first)
+}
+
+// TestShardedForkEquivalence: a sharded world forked from a sharded
+// snapshot runs the snapshot's future identically to the captured world
+// continuing in place.
+func TestShardedForkEquivalence(t *testing.T) {
+	prefix := resetScript(23, 2, 4)
+	body := resetScript(61, 1, 5)
+
+	ref := newShardedWorld(t, fabric.KindNTBRing, 6, 2, Options{})
+	shardTraceRun(t, ref, prefix)
+	snap := ref.Snapshot()
+	var mu sync.Mutex
+	var want []OpEvent
+	ref.SetOpTrace(func(ev OpEvent) { mu.Lock(); want = append(want, ev); mu.Unlock() })
+	if err := ref.RunKeepForked(body); err != nil {
+		t.Fatal(err)
+	}
+	ref.Cluster.ShutdownSim()
+	sortOps(want)
+
+	child := newShardedWorld(t, fabric.KindNTBRing, 6, 2, Options{})
+	child.Fork(snap)
+	var got []OpEvent
+	child.SetOpTrace(func(ev OpEvent) { mu.Lock(); got = append(got, ev); mu.Unlock() })
+	if err := child.RunKeepForked(body); err != nil {
+		t.Fatal(err)
+	}
+	child.Cluster.ShutdownSim()
+	sortOps(got)
+	compareOps(t, "sharded fork vs continuation", got, want)
+}
+
+// TestShardConstructionRejects: the shared-core fabrics cannot shard,
+// and the config contract (member sims are built internally) is
+// enforced.
+func TestShardConstructionRejects(t *testing.T) {
+	for _, kind := range []fabric.Kind{fabric.KindPCIeSwitch, fabric.KindCXL} {
+		_, err := fabric.New(fabric.Config{Par: model.Default(), Hosts: 4, Kind: kind, Shards: 2})
+		if err == nil || !strings.Contains(err.Error(), "cannot shard") {
+			t.Errorf("%s with 2 shards: err %v, want cannot-shard", kind, err)
+		}
+	}
+	if _, err := fabric.New(fabric.Config{Sim: sim.New(), Par: model.Default(), Hosts: 4, Kind: fabric.KindNTBRing, Shards: 2}); err == nil {
+		t.Error("sharded config with a caller simulator accepted")
+	}
+	if _, err := fabric.New(fabric.Config{Par: model.Default(), Hosts: 2, Kind: fabric.KindNTBRing, Shards: 4}); err == nil {
+		t.Error("more shards than hosts accepted")
+	}
+}
+
+// TestClusterUnplugSurface: the uniform failure-injection surface.
+// Point-to-point fabrics support Unplug on an unsharded world; sharded
+// worlds and shared-core fabrics report why they cannot.
+func TestClusterUnplugSurface(t *testing.T) {
+	build := func(kind fabric.Kind, n, shards int) *fabric.Cluster {
+		cfg := fabric.Config{Par: model.Default(), Hosts: n, Kind: kind, Shards: shards}
+		if shards == 1 {
+			cfg.Sim = sim.New()
+		}
+		c, err := fabric.New(cfg)
+		if err != nil {
+			t.Fatalf("building %s: %v", kind, err)
+		}
+		return c
+	}
+
+	ring := build(fabric.KindNTBRing, 3, 1)
+	if err := ring.Unplug(0); err != nil {
+		t.Errorf("unsharded ring Unplug: %v", err)
+	}
+	pair := build(fabric.KindNTBPair, 2, 1)
+	if err := pair.Unplug(0); err != nil {
+		t.Errorf("unsharded pair Unplug: %v", err)
+	}
+	shardedRing := build(fabric.KindNTBRing, 4, 2)
+	if err := shardedRing.Unplug(0); err == nil || !strings.Contains(err.Error(), "-shards 1") {
+		t.Errorf("sharded ring Unplug: err %v, want -shards 1 hint", err)
+	}
+	for _, kind := range []fabric.Kind{fabric.KindPCIeSwitch, fabric.KindCXL} {
+		c := build(kind, 3, 1)
+		err := c.Unplug(0)
+		if err == nil || !strings.Contains(err.Error(), "unplug not supported on") {
+			t.Errorf("%s Unplug: err %v, want not-supported", kind, err)
+		}
+	}
+}

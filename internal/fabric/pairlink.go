@@ -25,6 +25,7 @@ type pairLink struct {
 	out *driver.Endpoint  // reset: keep; snap: keep — construction identity
 	tx  *driver.TxChannel // reset: keep; snap: keep — reset by Cluster.Reset
 	fwd driver.Dir        // reset: keep; snap: keep — Dir this host's sends carry
+	ack func(*sim.Proc)   // reset: keep; snap: keep — construction identity; built once in Start so serve stays allocation-free
 
 	svcQ      *sim.Queue[*ntb.Port] // reset: keep; snap: keep — AssertQuiescent guarantees it drained
 	svcActive bool                  // reset: keep; snap: keep — AssertQuiescent guarantees false (service drained)
@@ -79,8 +80,10 @@ func (l *pairLink) Start(deliver Handler) {
 		l.stats.Interrupts++
 		l.endQ.Push(struct{}{})
 	})
-	l.c.Sim.GoDaemon(fmt.Sprintf("shmem-svc:%d", l.host.ID), l.serve)
-	l.c.Sim.GoDaemon(fmt.Sprintf("shmem-fwd:%d", l.host.ID), l.forward)
+	port := l.out.Port
+	l.ack = func(pp *sim.Proc) { driver.Ack(pp, port) }
+	l.host.Sim.GoDaemon(fmt.Sprintf("shmem-svc:%d", l.host.ID), l.serve)
+	l.host.Sim.GoDaemon(fmt.Sprintf("shmem-fwd:%d", l.host.ID), l.forward)
 }
 
 // Boot runs the pre-setup exchange over the single cable and validates
@@ -115,7 +118,7 @@ func (l *pairLink) serve(p *sim.Proc) {
 		if int(info.Dst) != l.host.ID {
 			panic(fmt.Sprintf("fabric: pair host %d received a chunk addressed to host %d", l.host.ID, info.Dst))
 		}
-		l.deliver(p, info, payload, func(pp *sim.Proc) { driver.Ack(pp, port) })
+		l.deliver(p, info, payload, l.ack)
 	}
 }
 
@@ -218,6 +221,8 @@ func (l *pairLink) waitToken(p *sim.Proc, q *sim.Queue[struct{}]) {
 
 // Stats reports the link's doorbell counter (nothing is ever forwarded).
 func (l *pairLink) Stats() LinkStats { return l.stats }
+
+func (l *pairLink) Lookahead() sim.Duration { return LookaheadFor(KindNTBPair, l.c.Par) }
 
 // AssertQuiescent panics unless the link has fully drained.
 func (l *pairLink) AssertQuiescent(op string) {

@@ -36,6 +36,14 @@ type ringLink struct {
 	txLeft, txRight driver.Sender // PipeTx reset here; TxChannel reset by Cluster.Reset
 	rxLeft, rxRight *driver.PipeRx
 
+	// Per-port ack thunks, built once in Start: dispatch passes its ack
+	// through the indirect deliver handler, so a closure literal built
+	// in serve's loop escapes — one heap allocation per message on the
+	// BenchmarkWorldPut1M hot path. Caching the two possible closures
+	// keeps the service loop allocation-free.
+	ackLeft, ackRight func(*sim.Proc) // reset: keep; snap: keep — construction identity, no simulation state
+	relLeft, relRight func(*sim.Proc) // reset: keep; snap: keep — construction identity, no simulation state
+
 	// Ring barrier tokens (Fig 6): one queue pair per travel direction
 	// (rightward tokens arrive on the left port and vice versa).
 	startQ, endQ   *sim.Queue[struct{}] // reset: keep; snap: keep — AssertQuiescent guarantees them drained
@@ -117,8 +125,20 @@ func (l *ringLink) Start(deliver Handler) {
 		l.stats.Interrupts++
 		l.endQL.Push(struct{}{})
 	})
-	l.c.Sim.GoDaemon(fmt.Sprintf("shmem-svc:%d", l.host.ID), l.serve)
-	l.c.Sim.GoDaemon(fmt.Sprintf("shmem-fwd:%d", l.host.ID), l.forward)
+	if left := l.host.Left; left != nil {
+		l.ackLeft = func(pp *sim.Proc) { driver.Ack(pp, left) }
+	}
+	if right := l.host.Right; right != nil {
+		l.ackRight = func(pp *sim.Proc) { driver.Ack(pp, right) }
+	}
+	if l.rxLeft != nil {
+		l.relLeft = l.rxLeft.Release
+	}
+	if l.rxRight != nil {
+		l.relRight = l.rxRight.Release
+	}
+	l.host.Sim.GoDaemon(fmt.Sprintf("shmem-svc:%d", l.host.ID), l.serve)
+	l.host.Sim.GoDaemon(fmt.Sprintf("shmem-fwd:%d", l.host.ID), l.forward)
 }
 
 // Boot runs the paper's pre-setup exchange and validates discovery
@@ -148,18 +168,26 @@ func (l *ringLink) serve(p *sim.Proc) {
 		l.setSvcActive(true)
 		p.Sleep(l.c.Par.ISRCost)
 		if rx := l.rxFor(port); rx != nil {
+			rel := l.relRight
+			if rx == l.rxLeft {
+				rel = l.relLeft
+			}
 			for {
 				info, payload, ready := rx.Next(p)
 				if !ready {
 					break
 				}
-				l.dispatch(p, info, payload, rx.Release)
+				l.dispatch(p, info, payload, rel)
 			}
 			continue
 		}
 		info := driver.ReadInfo(p, port)
 		payload := port.Inbound(info.Region)[:info.Size]
-		l.dispatch(p, info, payload, func(pp *sim.Proc) { driver.Ack(pp, port) })
+		ack := l.ackRight
+		if port == l.host.Left {
+			ack = l.ackLeft
+		}
+		l.dispatch(p, info, payload, ack)
 	}
 }
 
@@ -403,6 +431,8 @@ func oppositeDir(d driver.Dir) driver.Dir {
 
 // Stats reports the link's doorbell and relay counters.
 func (l *ringLink) Stats() LinkStats { return l.stats }
+
+func (l *ringLink) Lookahead() sim.Duration { return LookaheadFor(KindNTBRing, l.c.Par) }
 
 // AssertQuiescent panics unless the link has fully drained — the shared
 // precondition of Reset and Snapshot.

@@ -28,7 +28,7 @@ func NewSwitch(s *sim.Simulator, par *model.Params, n int) (*Cluster, error) {
 	if n > MaxSwitchHosts {
 		return nil, fmt.Errorf("fabric: %d hosts exceed the modelled switch's %d downstream ports", n, MaxSwitchHosts)
 	}
-	c := newCluster(s, par, n, KindPCIeSwitch)
+	c := newCluster(s, par, n, KindPCIeSwitch, 1)
 	core := pcie.NewServer("switch-core", par.SwitchCoreBW)
 	uplinks := make([]*pcie.Server, n)
 	for i, h := range c.Hosts {
@@ -84,6 +84,11 @@ type switchLink struct {
 	fwdIdle   *sim.Cond             // reset: keep; snap: keep — no waiters survive a clean run
 	pool      bufPool               // reset: keep; snap: keep — warm staging buffers hold no simulation state
 
+	// Per-port ack thunks, built once in Start: a closure literal in
+	// serve's loop escapes through the indirect deliver handler and
+	// allocates per message (see ringLink for the same pattern).
+	acks map[*ntb.Port]func(*sim.Proc) // reset: keep; snap: keep — construction identity, no simulation state
+
 	stats LinkStats
 }
 
@@ -110,15 +115,18 @@ func (l *switchLink) Start(deliver Handler) {
 			l.svcQ.Push(port)
 		}
 	}
+	l.acks = make(map[*ntb.Port]func(*sim.Proc), len(l.host.MeshEP))
 	for _, ep := range l.host.MeshEP {
 		if ep == nil {
 			continue
 		}
 		ep.Handle(driver.VecPut, dataVec(ep.Port))
 		ep.Handle(driver.VecGet, dataVec(ep.Port))
+		port := ep.Port
+		l.acks[port] = func(pp *sim.Proc) { driver.Ack(pp, port) }
 	}
-	l.c.Sim.GoDaemon(fmt.Sprintf("shmem-svc:%d", l.host.ID), l.serve)
-	l.c.Sim.GoDaemon(fmt.Sprintf("shmem-fwd:%d", l.host.ID), l.forward)
+	l.host.Sim.GoDaemon(fmt.Sprintf("shmem-svc:%d", l.host.ID), l.serve)
+	l.host.Sim.GoDaemon(fmt.Sprintf("shmem-fwd:%d", l.host.ID), l.forward)
 }
 
 // Boot programs every mesh port's LUT with its peer, publishes this
@@ -170,7 +178,7 @@ func (l *switchLink) serve(p *sim.Proc) {
 		if int(info.Dst) != l.host.ID {
 			panic(fmt.Sprintf("fabric: switch host %d received a chunk addressed to host %d", l.host.ID, info.Dst))
 		}
-		l.deliver(p, info, payload, func(pp *sim.Proc) { driver.Ack(pp, port) })
+		l.deliver(p, info, payload, l.acks[port])
 	}
 }
 
@@ -239,6 +247,8 @@ func (l *switchLink) Sync(p *sim.Proc) bool { return false }
 
 // Stats reports the link's doorbell counter (nothing is ever relayed).
 func (l *switchLink) Stats() LinkStats { return l.stats }
+
+func (l *switchLink) Lookahead() sim.Duration { return LookaheadFor(KindPCIeSwitch, l.c.Par) }
 
 // AssertQuiescent panics unless the link has fully drained.
 func (l *switchLink) AssertQuiescent(op string) {
