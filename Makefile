@@ -23,10 +23,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (see LINT.md): determinism, Reset
-# completeness, annotated zero-alloc hot paths, park/timer discipline.
+# Project-specific static analysis (see LINT.md): determinism, Reset/
+# Snapshot completeness, annotated zero-alloc hot paths, park/timer
+# discipline, cross-shard ownership (shardsafe), the fabric.Link
+# lifecycle contract (fabriccontract), and waiver-drift detection.
+# Packages are analyzed on a worker pool; -time reports per-analyzer
+# wall-clock so suite growth stays visible.
 lint:
-	$(GO) run ./cmd/ntblint ./...
+	$(GO) run ./cmd/ntblint -time ./...
 
 # Host-side simulator speed benchmarks (wall-clock, allocs/op).
 bench:

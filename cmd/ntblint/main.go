@@ -4,14 +4,28 @@
 // credibility rests on — see LINT.md for the rules and waiver
 // directives.
 //
-//	simdet     — no wall clock, no global math/rand, no order-sensitive
-//	             map iteration in the simulation packages
-//	resetcheck — every field of a Reset()-able type is reset, recursively
-//	             reset, or annotated `// reset: keep`
-//	allocfree  — //ntblint:allocfree functions contain no allocating
-//	             constructs
-//	parkcheck  — park labels are precomputed; AfterTick tickers are
-//	             pre-allocated
+//	simdet         — no wall clock, no global math/rand, no core-count
+//	                 reads, no order-sensitive map iteration in the
+//	                 simulation packages
+//	resetcheck     — every field of a Reset()-able type is reset,
+//	                 recursively reset, or annotated `// reset: keep`
+//	snapcheck      — every field of a Snapshot()-able type is captured
+//	                 or annotated `// snap: keep`
+//	allocfree      — //ntblint:allocfree functions contain no allocating
+//	                 constructs
+//	parkcheck      — park labels are precomputed; AfterTick tickers are
+//	                 pre-allocated
+//	shardsafe      — remote-guarded code reaches peer state only through
+//	                 sim.Post closures (PROTOCOL.md §14)
+//	fabriccontract — fabric.Link implementers ship the full lifecycle
+//	                 contract (PROTOCOL.md §13)
+//	waiverdrift    — every waiver directive still attaches to a
+//	                 construct its analyzer recognises
+//
+// Packages are analyzed concurrently (-j workers) after a serial
+// type-check load; diagnostics are merged in position order, so output
+// is byte-identical at any worker count. -time prints per-analyzer
+// wall-clock to stderr.
 //
 // Run it from the module root (import resolution shells out to the go
 // command in module mode): `go run ./cmd/ntblint ./...`.
@@ -21,21 +35,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
+	"runtime"
 
 	"repro/internal/analysis"
 )
 
-// simdetScope matches the packages whose code must be deterministic in
-// the byte-identical-results sense: the kernel, the device and protocol
-// layers, the runtime, and the benchmark engine that renders results/.
-// Other packages (examples, commands, parsing helpers) may iterate maps
-// and read clocks freely.
-var simdetScope = regexp.MustCompile(`(^|/)internal/(sim|pcie|ntb|driver|fabric|core|mem|bench|trace)$`)
-
 func main() {
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "analysis worker count (packages analyzed concurrently)")
+	timings := flag.Bool("time", false, "print per-analyzer wall-clock to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ntblint [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ntblint [-j N] [-time] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,14 +60,15 @@ func main() {
 	}
 
 	analyzers := analysis.Analyzers()
-	for _, a := range analyzers {
-		if a.Name == analysis.Simdet.Name {
-			a.Match = simdetScope.MatchString
-		}
-	}
-	diags := analysis.Run(pkgs, analyzers)
+	analysis.ApplyRepoScopes(analyzers)
+	diags, times := analysis.RunParallel(pkgs, analyzers, *workers)
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if *timings {
+		for _, t := range times {
+			fmt.Fprintf(os.Stderr, "ntblint: %-14s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ntblint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

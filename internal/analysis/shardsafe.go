@@ -1,0 +1,426 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Shardsafe enforces the PROTOCOL.md §14 ownership discipline that the
+// conservative parallel-DES merge depends on: code running on one
+// shard's simulator must never touch a remote peer's mutable state
+// directly. Inside a remote-guarded region (an `if x.remote { … }` or
+// `if x.Remote() { … }` body) — and in every function the region
+// reaches through the call graph with a peer or a remote-guarded
+// receiver — the peer may be named and nil-checked, but its fields may
+// only be reached inside a sim.Post closure (the sanctioned cross-shard
+// channel; ShardGroup mailboxes and ConnectRemote wrappers are built on
+// it). Direct field reads, writes, indexing, and method calls across
+// the boundary are reported; provably same-shard accesses are waived
+// with //ntblint:shardlocal.
+var Shardsafe = &Analyzer{
+	Name: "shardsafe",
+	Doc: "forbid direct access to a remote shard's peer state outside " +
+		"sim.Post closures, across the call graph from remote-guarded code",
+	Run: runShardsafe,
+}
+
+// shardFinding is one cross-shard access, tagged with the package that
+// owns the offending source so each per-package pass reports only its
+// own findings from the shared whole-program sweep.
+type shardFinding struct {
+	pkgPath string
+	pos     token.Pos
+	msg     string
+}
+
+// shardsafeResult is the memoized whole-program sweep: the findings,
+// plus the file:line positions where a //ntblint:shardlocal waiver
+// suppressed a would-be finding — waiverdrift uses those to tell an
+// honored waiver from an orphaned one.
+type shardsafeResult struct {
+	findings []shardFinding
+	// waivedLines[file][line] marks lines holding a waived access.
+	waivedLines map[string]map[int]bool
+}
+
+func runShardsafe(pass *Pass) {
+	res := shardsafeFacts(pass.Engine)
+	for _, f := range res.findings {
+		if f.pkgPath == pass.Pkg.Path() {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// shardsafeFacts returns the engine-memoized sweep (built once no
+// matter how many passes or analyzers demand it).
+func shardsafeFacts(e *Engine) *shardsafeResult {
+	return e.Memo("shardsafe", func() any { return shardsafeSweep(e) }).(*shardsafeResult)
+}
+
+// taintKey identifies one (function, tainted params, tainted receiver)
+// analysis obligation, so the worklist terminates.
+type taintKey struct {
+	fn     string
+	params string
+	recv   bool
+}
+
+// taintItem is one queued obligation: analyze fn's body with the named
+// parameters treated as remote peers and, if recv is set, the receiver
+// treated as the remote-guarded root.
+type taintItem struct {
+	fn     *types.Func
+	params []string
+	recv   bool
+}
+
+// shardsafeSweep walks every remote-guarded region in the package set
+// and propagates remote-context taint through the engine's call graph.
+func shardsafeSweep(e *Engine) *shardsafeResult {
+	res := &shardsafeResult{waivedLines: map[string]map[int]bool{}}
+	sweep := &shardSweep{engine: e, res: res, visited: map[taintKey]bool{}}
+
+	for _, pkg := range e.Packages() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				sweep.seedDecl(pkg, fd)
+			}
+		}
+	}
+	sweep.drain()
+
+	sort.Slice(res.findings, func(i, j int) bool { return res.findings[i].pos < res.findings[j].pos })
+	// A nested remote guard re-seeds an already-checked region; keep
+	// the first report per position.
+	dedup := res.findings[:0]
+	var last token.Pos = token.NoPos
+	for _, f := range res.findings {
+		if f.pos != last {
+			dedup = append(dedup, f)
+			last = f.pos
+		}
+	}
+	res.findings = dedup
+	return res
+}
+
+type shardSweep struct {
+	engine  *Engine
+	res     *shardsafeResult
+	queue   []taintItem
+	visited map[taintKey]bool
+}
+
+// seedDecl finds the remote-guarded regions of one declaration and
+// checks each.
+func (w *shardSweep) seedDecl(pkg *Package, fd *ast.FuncDecl) {
+	peers := collectPeerVars(fd.Body, nil)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		root := remoteGuardRoot(ifStmt.Cond)
+		if root == nil {
+			return true
+		}
+		w.checkBlock(pkg, ifStmt.Body, peers, []ast.Expr{root})
+		return true
+	})
+}
+
+// drain processes queued cross-function taint obligations until the
+// visited set closes.
+func (w *shardSweep) drain() {
+	for len(w.queue) > 0 {
+		item := w.queue[0]
+		w.queue = w.queue[1:]
+		key := taintKey{fn: item.fn.FullName(), params: strings.Join(item.params, ","), recv: item.recv}
+		if w.visited[key] {
+			continue
+		}
+		w.visited[key] = true
+		fd, pkg := w.engine.Decl(item.fn)
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		seed := map[string]bool{}
+		for _, p := range item.params {
+			seed[p] = true
+		}
+		peers := collectPeerVars(fd.Body, seed)
+		var roots []ast.Expr
+		if item.recv {
+			if name := receiverIdentName(fd); name != "" {
+				roots = append(roots, ast.NewIdent(name))
+			}
+		}
+		w.checkBlock(pkg, fd.Body, peers, roots)
+	}
+}
+
+// sanctionedPeerFields are the peer members a remote context may touch
+// directly: the destination argument sim.Post needs, immutable identity
+// used in diagnostics, and the shard-topology accessors.
+var sanctionedPeerFields = map[string]bool{
+	"sim": true, "name": true, "Name": true, "String": true,
+	"remote": true, "Remote": true,
+}
+
+// checkBlock reports direct peer-state accesses inside one
+// remote-context region and queues taint for the functions it calls
+// with peers or the guarded root.
+func (w *shardSweep) checkBlock(pkg *Package, block ast.Node, peers map[string]bool, roots []ast.Expr) {
+	dir := w.engine.directivesFor(pkg.Path)
+	isPeer := func(e ast.Expr) bool { return isPeerExpr(e, peers) }
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if waivedIn(dir, pkg.Fset, pos, DirectiveShardLocal) {
+			at := pkg.Fset.Position(pos)
+			lines := w.res.waivedLines[at.Filename]
+			if lines == nil {
+				lines = map[int]bool{}
+				w.res.waivedLines[at.Filename] = lines
+			}
+			lines[at.Line] = true
+			return
+		}
+		w.res.findings = append(w.res.findings, shardFinding{
+			pkgPath: pkg.Path,
+			pos:     pos,
+			msg:     fmt.Sprintf(format, args...),
+		})
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// panic arguments are cold diagnostic paths, not simulation
+			// effects; skip the whole subtree (allocfree's rule).
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin {
+					return false
+				}
+			}
+			// sim.Post is the sanctioned channel: its closure argument
+			// runs on the destination's timeline, so accesses inside it
+			// are the point. Check the non-closure arguments (the dst
+			// expression must still respect the field sanction) and
+			// skip the closures.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Post" {
+				ast.Inspect(sel.X, visit)
+				for _, arg := range n.Args {
+					if _, isLit := ast.Unparen(arg).(*ast.FuncLit); isLit {
+						continue
+					}
+					ast.Inspect(arg, visit)
+				}
+				return false
+			}
+			w.queueTaint(pkg, n, isPeer, roots)
+			return true
+
+		case *ast.SelectorExpr:
+			if base := ast.Unparen(n.X); isPeer(base) && !sanctionedPeerFields[n.Sel.Name] {
+				report(n.Pos(),
+					"direct access to remote peer state %s.%s outside a sim.Post closure; "+
+						"route the effect through sim.Post (or waive a provably same-shard access with //ntblint:shardlocal)",
+					exprText(base), n.Sel.Name)
+			}
+			return true
+
+		case *ast.IndexExpr:
+			if base := ast.Unparen(n.X); isPeer(base) {
+				report(n.Pos(),
+					"direct indexing of remote peer state %s outside a sim.Post closure; "+
+						"route the effect through sim.Post (or waive with //ntblint:shardlocal)",
+					exprText(base))
+			}
+			return true
+
+		case *ast.StarExpr:
+			if base := ast.Unparen(n.X); isPeer(base) {
+				report(n.Pos(),
+					"direct dereference of remote peer %s outside a sim.Post closure; "+
+						"route the effect through sim.Post (or waive with //ntblint:shardlocal)",
+					exprText(base))
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(block, visit)
+}
+
+// queueTaint records cross-function obligations for one call: a bare
+// peer passed as an argument taints the matching parameter; a call
+// whose receiver is the guarded root taints the callee's receiver.
+func (w *shardSweep) queueTaint(pkg *Package, call *ast.CallExpr, isPeer func(ast.Expr) bool, roots []ast.Expr) {
+	var fn *types.Func
+	var recvExpr ast.Expr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+		recvExpr = ast.Unparen(fun.X)
+	}
+	if fn == nil {
+		return
+	}
+	fd, _ := w.engine.Decl(fn)
+	if fd == nil || fd.Body == nil {
+		return
+	}
+
+	var params []string
+	for i, arg := range call.Args {
+		if !isPeer(ast.Unparen(arg)) {
+			continue
+		}
+		if name := paramNameAt(fd, i); name != "" {
+			params = append(params, name)
+		}
+	}
+
+	recvTaint := false
+	if recvExpr != nil {
+		for _, r := range roots {
+			if exprEqual(recvExpr, r) {
+				recvTaint = true
+				break
+			}
+		}
+	}
+
+	if len(params) == 0 && !recvTaint {
+		return
+	}
+	sort.Strings(params)
+	w.queue = append(w.queue, taintItem{fn: fn, params: params, recv: recvTaint})
+}
+
+// paramNameAt returns the declared name of a function's i-th parameter
+// ("" for unnamed or variadic overflow positions).
+func paramNameAt(fd *ast.FuncDecl, i int) string {
+	n := 0
+	for _, field := range fd.Type.Params.List {
+		count := len(field.Names)
+		if count == 0 {
+			count = 1
+		}
+		for j := 0; j < count; j++ {
+			if n == i {
+				if len(field.Names) == 0 {
+					return ""
+				}
+				return field.Names[j].Name
+			}
+			n++
+		}
+	}
+	return ""
+}
+
+// collectPeerVars gathers the local variable names bound to a remote
+// peer anywhere in a function body: seeded names (tainted parameters),
+// then anything assigned from a peer-shaped expression. Two passes
+// close simple chains (q := peer after peer := p.peer).
+func collectPeerVars(body *ast.BlockStmt, seed map[string]bool) map[string]bool {
+	peers := map[string]bool{}
+	for name := range seed {
+		peers[name] = true
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isPeerExpr(ast.Unparen(assign.Rhs[i]), peers) {
+					peers[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return peers
+}
+
+// isPeerExpr reports whether an expression denotes a remote peer: a
+// collected peer variable, a selector ending in the conventional .peer
+// field, or a Peer()/mustPeer() accessor call.
+func isPeerExpr(e ast.Expr, peers map[string]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return peers[e.Name]
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "peer"
+	case *ast.CallExpr:
+		name := calleeName(e)
+		return name == "Peer" || name == "mustPeer"
+	}
+	return false
+}
+
+// remoteGuardRoot inspects an if condition for the remote-port test —
+// a `x.remote` field read or `x.Remote()` call not under negation — and
+// returns the guarded expression x, or nil.
+func remoteGuardRoot(cond ast.Expr) ast.Expr {
+	var root ast.Expr
+	var scan func(e ast.Expr)
+	scan = func(e ast.Expr) {
+		if root != nil {
+			return
+		}
+		switch e := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			// !x.remote guards the local branch; not a remote context.
+			return
+		case *ast.BinaryExpr:
+			if e.Op == token.LAND || e.Op == token.LOR {
+				scan(e.X)
+				scan(e.Y)
+			}
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "remote" {
+				root = ast.Unparen(e.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Remote" {
+				root = ast.Unparen(sel.X)
+			}
+		}
+	}
+	scan(cond)
+	return root
+}
+
+// exprText renders a small expression for diagnostics (identifiers and
+// dotted paths; anything else compresses to a placeholder).
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	}
+	return "expr"
+}

@@ -13,7 +13,8 @@ import (
 // output, or writes through the runtime.
 var Simdet = &Analyzer{
 	Name: "simdet",
-	Doc: "forbid wall-clock reads, the global math/rand source, and " +
+	Doc: "forbid wall-clock reads, the global math/rand source, " +
+		"runtime.NumCPU/GOMAXPROCS core-count reads, and " +
 		"order-sensitive iteration over maps in simulation packages",
 	Run: runSimdet,
 }
@@ -98,6 +99,14 @@ func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
 		if !randConstructors[fn.Name()] {
 			pass.Reportf(call.Pos(),
 				"rand.%s draws from the process-global source; use a per-world seeded *rand.Rand", fn.Name())
+		}
+	case "runtime":
+		// Core-count reads make results depend on the machine running
+		// them; shard-count and worker policy belong in the bench/cmd
+		// layers, behind the one waived site.
+		if (fn.Name() == "NumCPU" || fn.Name() == "GOMAXPROCS") && !pass.Waived(call.Pos(), DirectiveCPUPolicy) {
+			pass.Reportf(call.Pos(),
+				"runtime.%s makes behaviour depend on the host's core count; take parallelism as a parameter (waive the policy site with //ntblint:cpupolicy)", fn.Name())
 		}
 	}
 }

@@ -1,0 +1,133 @@
+// Package shardsafe is the fixture for the shardsafe analyzer: inside
+// remote-guarded regions — and in functions they reach with a peer or
+// the guarded receiver — direct peer-state accesses are flagged unless
+// they run inside a sim.Post closure; naming, nil-checking, panic
+// arguments, and //ntblint:shardlocal waivers are not.
+package shardsafe
+
+// Sim stands in for sim.Simulator; Post is the sanctioned cross-shard
+// channel (recognised by name, exactly as on the real tree).
+type Sim struct{}
+
+func (s *Sim) Post(dst *Sim, d int, fn func()) { fn() }
+
+// Port mirrors the ntb.Port shape the analyzer is tuned for: a remote
+// flag, a peer pointer, and mutable state owned by the peer's shard.
+type Port struct {
+	sim    *Sim
+	peer   *Port
+	remote bool
+	lag    int
+	name   string
+	spads  [4]uint32
+	lut    map[uint16]bool
+}
+
+// Remote reports whether the cable crosses a shard boundary.
+func (p *Port) Remote() bool { return p.remote }
+
+func (p *Port) mustPeer() *Port {
+	if p.peer == nil {
+		panic("shardsafe fixture: unplugged")
+	}
+	return p.peer
+}
+
+// goodWrite routes the remote effect through Post; nothing is flagged.
+// The seed markers bracket the sanctioned block the seeded-omission
+// test replaces with a direct write.
+func (p *Port) goodWrite(idx int, val uint32) {
+	if p.remote {
+		peer := p.mustPeer()
+		// seed:post-begin
+		p.sim.Post(peer.sim, p.lag, func() {
+			peer.spads[idx] = val
+		})
+		// seed:post-end
+		return
+	}
+	p.peer.spads[idx] = val
+}
+
+// badWrite stores into the peer directly on the poster's timeline.
+func (p *Port) badWrite(idx int, val uint32) {
+	if p.remote {
+		peer := p.peer
+		peer.spads[idx] = val // want "direct access to remote peer state peer.spads"
+	}
+}
+
+// badRead observes peer state mid-window through the .peer field.
+func (p *Port) badRead(idx int) uint32 {
+	if p.remote {
+		return p.peer.spads[idx] // want "direct access to remote peer state p.peer.spads"
+	}
+	return 0
+}
+
+// waivedTouch is a loopback cable: both ports share one simulator, so
+// the direct store is provably same-shard and waived.
+func (p *Port) waivedTouch() {
+	if p.remote {
+		//ntblint:shardlocal — fixture loopback: both ports share one simulator
+		p.peer.lut[0] = true
+	}
+}
+
+// badIndirect hands the peer to a helper; the write inside is reached
+// through the call-graph taint.
+func (p *Port) badIndirect(val uint32) {
+	if p.Remote() {
+		stamp(p.peer, val)
+	}
+}
+
+// stamp receives a remote peer from badIndirect.
+func stamp(q *Port, val uint32) {
+	q.spads[0] = val // want "direct access to remote peer state q.spads"
+}
+
+// badRecvIndirect calls a method on the guarded port; the callee's
+// receiver inherits the remote context.
+func (p *Port) badRecvIndirect() {
+	if p.remote {
+		p.admit()
+	}
+}
+
+func (p *Port) admit() {
+	p.peer.lut[1] = true // want "direct access to remote peer state p.peer.lut"
+}
+
+// nilCheck names and compares the peer without touching its state.
+func (p *Port) nilCheck() bool {
+	if p.remote {
+		return p.peer != nil
+	}
+	return false
+}
+
+// coldPanic reads peer state only inside panic arguments — cold
+// diagnostic paths are exempt, like allocfree's rule.
+func (p *Port) coldPanic() {
+	if p.remote {
+		if p.peer == nil {
+			panic("shardsafe fixture: unplugged")
+		}
+		if p.lag < 0 {
+			panic(p.peer.spads[0])
+		}
+	}
+}
+
+// goodIdentity reads the sanctioned immutable members: sim (Post's
+// destination), name, and the remote flag itself.
+func (p *Port) goodIdentity() string {
+	if p.remote {
+		peer := p.mustPeer()
+		if peer.remote {
+			return peer.name
+		}
+	}
+	return ""
+}

@@ -5,6 +5,7 @@ package simdet
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -32,6 +33,17 @@ func seeded() *rand.Rand {
 // privateDraw draws from a private generator; methods are fine.
 func privateDraw(rng *rand.Rand) int {
 	return rng.Intn(10)
+}
+
+func coreCount() int {
+	return runtime.NumCPU() // want "runtime.NumCPU makes behaviour depend on the host's core count"
+}
+
+// policy is the one sanctioned shape for a core-count read: an
+// explicitly waived parallelism-policy site.
+func policy() int {
+	//ntblint:cpupolicy — worker-count default, not simulation state
+	return runtime.GOMAXPROCS(0)
 }
 
 func drain(s *sched, m map[string]int) {

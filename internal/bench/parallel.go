@@ -39,6 +39,10 @@ func Parallelism() int {
 	if n := int(parallelism.Load()); n > 0 {
 		return n
 	}
+	// The one sanctioned core-count read: host parallelism is bench
+	// policy (how many worlds run at once), never simulation state —
+	// results stay byte-identical at any worker count.
+	//ntblint:cpupolicy
 	return runtime.GOMAXPROCS(0)
 }
 
